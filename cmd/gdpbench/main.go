@@ -1,0 +1,53 @@
+// Command gdpbench regenerates the paper's evaluation artifacts: every
+// figure, lemma, and theorem table from DESIGN.md's per-experiment index,
+// each annotated with the paper's claim and the machine-checked outcome.
+//
+// Usage:
+//
+//	gdpbench                 # full run (exhaustive where feasible)
+//	gdpbench -quick          # sampled verification, smaller grids
+//	gdpbench -run F14        # one experiment
+//	gdpbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gdpn/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "sampled verification, smaller grids")
+		run   = flag.String("run", "", "run a single experiment id (see -list)")
+		list  = flag.Bool("list", false, "list experiment ids")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *run != "" {
+		ok, err := experiments.RunOne(*run, cfg, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdpbench:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if !experiments.RunAll(cfg, os.Stdout) {
+		fmt.Fprintln(os.Stderr, "gdpbench: at least one experiment mismatched its paper claim")
+		os.Exit(1)
+	}
+	fmt.Println("all experiments match the paper's claims")
+}

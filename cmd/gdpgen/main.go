@@ -1,0 +1,86 @@
+// Command gdpgen generates the paper's solution graphs and emits them as
+// JSON or Graphviz DOT.
+//
+// Usage:
+//
+//	gdpgen -n 22 -k 4 -format dot > g22_4.dot
+//	gdpgen -n 10 -k 2 -merge -format json
+//	gdpgen -special 7,3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 7, "minimum pipeline processors")
+		k       = flag.Int("k", 2, "fault tolerance")
+		format  = flag.String("format", "summary", "output format: summary, json, dot")
+		merge   = flag.Bool("merge", false, "emit the merged fault-free-terminal model (§3)")
+		special = flag.String("special", "", "emit a frozen special solution, e.g. 7,3")
+	)
+	flag.Parse()
+
+	g, err := build(*n, *k, *merge, *special)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdpgen:", err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "summary":
+		fmt.Println(g.Summary())
+	case "json":
+		data, err := json.Marshal(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdpgen:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	case "dot":
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gdpgen:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "gdpgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+func build(n, k int, merge bool, special string) (*graph.Graph, error) {
+	var g *graph.Graph
+	if special != "" {
+		parts := strings.Split(special, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("-special wants n,k (e.g. 7,3)")
+		}
+		var sn, sk int
+		if _, err := fmt.Sscanf(special, "%d,%d", &sn, &sk); err != nil {
+			return nil, err
+		}
+		sg, err := construct.Special(sn, sk)
+		if err != nil {
+			return nil, err
+		}
+		g = sg
+	} else {
+		sol, err := construct.Design(n, k)
+		if err != nil {
+			return nil, err
+		}
+		g = sol.Graph
+	}
+	if merge {
+		g = construct.Merge(g)
+	}
+	return g, nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+func TestBuildDesign(t *testing.T) {
+	g, err := build(10, 2, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckStandard(g, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildMerged(t *testing.T) {
+	g, err := build(6, 2, true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckMerged(g, 6, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSpecial(t *testing.T) {
+	g, err := build(0, 0, false, "7,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckStandard(g, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Merged special.
+	m, err := build(0, 0, true, "6,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CountKind(graph.InputTerminal) != 1 {
+		t.Fatal("merge not applied to special")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build(9, 4, false, ""); err == nil {
+		t.Fatal("open gap accepted")
+	}
+	if _, err := build(0, 0, false, "1,2,3"); err == nil {
+		t.Fatal("malformed special accepted")
+	}
+	if _, err := build(0, 0, false, "x,y"); err == nil {
+		t.Fatal("non-numeric special accepted")
+	}
+	if _, err := build(0, 0, false, "99,99"); err == nil {
+		t.Fatal("unknown special accepted")
+	}
+}

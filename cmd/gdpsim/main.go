@@ -1,0 +1,85 @@
+// Command gdpsim runs the streaming-pipeline fault-injection demo: a
+// video-style stage chain mapped onto a gracefully degradable network,
+// with faults arriving between epochs and the stream continuing on every
+// healthy processor.
+//
+// Usage:
+//
+//	gdpsim -n 24 -k 4 -epoch-frames 128 -frame 4096
+//	gdpsim -n 1000 -k 6 -model terminals-first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/faults"
+	"gdpn/internal/pipeline"
+	"gdpn/internal/stages"
+	"gdpn/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 24, "minimum pipeline processors")
+		k      = flag.Int("k", 4, "fault tolerance")
+		frames = flag.Int("epoch-frames", 128, "frames per epoch")
+		size   = flag.Int("frame", 4096, "samples per frame")
+		model  = flag.String("model", "processors-only", "fault model: uniform, processors-only, terminals-first")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	sol, err := construct.Design(*n, *k)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := pipeline.New(sol, []stages.Stage{
+		stages.NewSubsample(2),
+		&stages.Rescale{Gain: 1.5, Offset: 0.1},
+		stages.NewFIR([]float64{0.25, 0.5, 0.25}),
+		stages.NewQuantize(-16, 16, 256),
+		stages.NewLZ78(4096),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	m, err := faults.ByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+	inj := faults.NewInjector(m, sol.Graph, *k, *seed)
+	gen := workload.Video(*size/4, *seed)
+
+	fmt.Println(sol.Graph.Summary())
+	fmt.Printf("%-6s %-7s %-13s %-9s %-14s %s\n", "epoch", "faults", "procs-in-use", "frames", "throughput", "remap")
+	var lastRemap time.Duration
+	for epoch := 0; ; epoch++ {
+		batch := workload.Frames(gen, *frames, *size, epoch**frames)
+		start := time.Now()
+		out := eng.Process(batch)
+		elapsed := time.Since(start)
+		remap := eng.Metrics().RemapTime - lastRemap
+		lastRemap = eng.Metrics().RemapTime
+		fmt.Printf("%-6d %-7d %-13d %-9d %8.1f MB/s %10s\n",
+			epoch, eng.Faults().Count(), eng.ProcessorsInUse(), len(out),
+			float64(*frames**size*8)/1e6/elapsed.Seconds(), remap.Round(time.Microsecond))
+		node, ok := inj.Next()
+		if !ok {
+			break
+		}
+		if err := eng.Inject(node); err != nil {
+			fatal(fmt.Errorf("fault at node %d: %w", node, err))
+		}
+	}
+	fmt.Printf("done: %d frames, %d remaps, total remap time %v\n",
+		eng.Metrics().FramesProcessed, eng.Metrics().Remaps, eng.Metrics().RemapTime.Round(time.Microsecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gdpsim:", err)
+	os.Exit(1)
+}

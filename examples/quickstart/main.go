@@ -1,0 +1,55 @@
+// Quickstart: design a gracefully degradable pipeline network, kill nodes,
+// and watch the pipeline re-form over every remaining healthy processor.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdpn/internal/core"
+	"gdpn/internal/graph"
+)
+
+func main() {
+	// A network guaranteeing a 7-processor pipeline through up to 2 faults
+	// anywhere — including in the I/O terminals themselves.
+	nw, err := core.Design(7, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(nw.Graph().Summary())
+
+	p, err := nw.Pipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free (%d processors): %s\n", len(p)-2, p.String(nw.Graph()))
+
+	// Kill a processor in the middle of the pipeline...
+	victim := p[len(p)/2]
+	if err := nw.Inject(victim); err != nil {
+		log.Fatal(err)
+	}
+	p, err = nw.Pipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after losing %s (%d processors): %s\n",
+		graph.NodeName(nw.Graph(), victim), len(p)-2, p.String(nw.Graph()))
+
+	// ...and an input terminal.
+	ti := nw.Graph().InputTerminals()[0]
+	if err := nw.Inject(ti); err != nil {
+		log.Fatal(err)
+	}
+	p, err = nw.Pipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after also losing %s (%d processors): %s\n",
+		graph.NodeName(nw.Graph(), ti), len(p)-2, p.String(nw.Graph()))
+
+	fmt.Printf("graceful: pipeline always uses all %d healthy processors\n", nw.HealthyProcessors())
+}

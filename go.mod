@@ -1,0 +1,3 @@
+module gdpn
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package baseline implements the prior-work comparators of §2:
+//
+//   - Hayes's fault-tolerant cycle (Hayes 1976 [13]): an UNLABELED
+//     circulant supergraph guaranteeing a length-n cycle after ≤ k faults.
+//     The paper's §3.4 circulant is a supergraph of it with the same
+//     maximum degree. Attaching I/O terminals naively to a Hayes circulant
+//     does NOT give a gracefully degradable pipeline — the experiment
+//     suite exhibits concrete counterexample fault sets — which is the
+//     paper's first critique of prior work (unlabeled models cannot
+//     account for I/O devices);
+//   - a non-graceful spare-based pipeline that always runs exactly n
+//     processors and discards the rest, illustrating the second critique:
+//     with f < k faults it wastes k−f healthy processors, while the
+//     paper's constructions use all of them.
+package baseline
+
+import (
+	"fmt"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/graph"
+)
+
+// HayesCycle builds Hayes's k-fault-tolerant supergraph for the target
+// cycle C_n: a circulant on n+k unlabeled processor nodes with offsets
+// {1, …, ⌊k/2⌋+1}, plus the bisector offset when k is odd. After any ≤ k
+// node faults the survivor contains a cycle of length ≥ n.
+func HayesCycle(n, k int) *graph.Graph {
+	if n < 3 || k < 1 {
+		panic(fmt.Sprintf("baseline: HayesCycle requires n ≥ 3, k ≥ 1 (got n=%d k=%d)", n, k))
+	}
+	m := n + k
+	g := graph.New(fmt.Sprintf("HayesCycle(n=%d,k=%d)", n, k))
+	ring := make([]int, m)
+	for i := range ring {
+		ring[i] = g.AddNode(graph.Processor, i)
+	}
+	p := k / 2
+	offsets := make([]int, 0, p+2)
+	for s := 1; s <= p+1 && s <= m/2; s++ {
+		offsets = append(offsets, s)
+	}
+	if k%2 == 1 && m/2 > p+1 {
+		offsets = append(offsets, m/2)
+	}
+	graph.AddCirculantEdges(g, ring, offsets)
+	return g
+}
+
+// NaiveTerminals attaches k+1 input terminals to the first k+1 processors
+// and k+1 output terminals to the last k+1 processors of g — the obvious
+// way to turn an unlabeled fault-tolerant structure into a pipeline
+// network. The result is node-optimal and standard-shaped but NOT
+// k-gracefully-degradable (the experiments find counterexamples), which is
+// why the paper's constructions place I/O connectivity explicitly.
+func NaiveTerminals(g *graph.Graph, k int) *graph.Graph {
+	out := g.Clone()
+	out.SetName("Naive(" + g.Name() + ")")
+	procs := out.Processors()
+	if len(procs) < 2*(k+1) {
+		panic("baseline: not enough processors for naive terminal attachment")
+	}
+	for j := 0; j <= k; j++ {
+		out.AddEdge(out.AddNode(graph.InputTerminal, j), procs[j])
+	}
+	for j := 0; j <= k; j++ {
+		out.AddEdge(out.AddNode(graph.OutputTerminal, j), procs[len(procs)-1-j])
+	}
+	return out
+}
+
+// FindCycle searches for a simple cycle of exactly `length` healthy
+// processors in g \ faults, using a budgeted DFS. It demonstrates the
+// unlabeled Hayes guarantee (a C_n survives) on the same fault sets for
+// which the naively-labeled pipeline fails. Returns the cycle as a node
+// sequence (first node not repeated) and whether one was found within the
+// budget.
+func FindCycle(g *graph.Graph, faults bitset.Set, length int, budget int64) ([]int, bool) {
+	if length < 3 {
+		return nil, false
+	}
+	healthy := 0
+	for _, p := range g.Processors() {
+		if faults == nil || !faults.Contains(p) {
+			healthy++
+		}
+	}
+	if healthy < length {
+		return nil, false
+	}
+	inPath := bitset.New(g.NumNodes())
+	path := make([]int, 0, length)
+	var steps int64
+	var dfs func(v, start int) bool
+	dfs = func(v, start int) bool {
+		if steps++; steps > budget {
+			return false
+		}
+		path = append(path, v)
+		inPath.Add(v)
+		if len(path) == length {
+			if g.HasEdge(v, start) {
+				return true
+			}
+			path = path[:len(path)-1]
+			inPath.Remove(v)
+			return false
+		}
+		for _, u := range g.Neighbors(v) {
+			ui := int(u)
+			if g.Kind(ui) != graph.Processor || inPath.Contains(ui) {
+				continue
+			}
+			if faults != nil && faults.Contains(ui) {
+				continue
+			}
+			if dfs(ui, start) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		inPath.Remove(v)
+		return false
+	}
+	for _, s := range g.Processors() {
+		if faults != nil && faults.Contains(s) {
+			continue
+		}
+		if dfs(s, s) {
+			out := append([]int(nil), path...)
+			return out, true
+		}
+		path = path[:0]
+		inPath.Clear()
+	}
+	return nil, false
+}
+
+// FindFixedPipeline searches for a pipeline that uses EXACTLY want
+// processors (the non-graceful contract: spares beyond the design size are
+// discarded even when healthy). Returns the terminal-to-terminal path.
+func FindFixedPipeline(g *graph.Graph, faults bitset.Set, want int, budget int64) (graph.Path, bool) {
+	if want < 1 {
+		return nil, false
+	}
+	healthyTerm := func(p int, kind graph.Kind) int {
+		for _, u := range g.Neighbors(p) {
+			if g.Kind(int(u)) == kind && (faults == nil || !faults.Contains(int(u))) {
+				return int(u)
+			}
+		}
+		return -1
+	}
+	inPath := bitset.New(g.NumNodes())
+	path := make([]int, 0, want)
+	var steps int64
+	var dfs func(v int) (graph.Path, bool)
+	dfs = func(v int) (graph.Path, bool) {
+		if steps++; steps > budget {
+			return nil, false
+		}
+		path = append(path, v)
+		inPath.Add(v)
+		if len(path) == want {
+			if to := healthyTerm(v, graph.OutputTerminal); to >= 0 {
+				full := make(graph.Path, 0, want+2)
+				full = append(full, healthyTerm(path[0], graph.InputTerminal))
+				full = append(full, path...)
+				full = append(full, to)
+				return full, true
+			}
+		} else {
+			for _, u := range g.Neighbors(v) {
+				ui := int(u)
+				if g.Kind(ui) != graph.Processor || inPath.Contains(ui) {
+					continue
+				}
+				if faults != nil && faults.Contains(ui) {
+					continue
+				}
+				if full, ok := dfs(ui); ok {
+					return full, true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		inPath.Remove(v)
+		return nil, false
+	}
+	for _, s := range g.Processors() {
+		if faults != nil && faults.Contains(s) {
+			continue
+		}
+		if healthyTerm(s, graph.InputTerminal) < 0 {
+			continue
+		}
+		if full, ok := dfs(s); ok {
+			return full, true
+		}
+		path = path[:0]
+		inPath.Clear()
+	}
+	return nil, false
+}
+
+// Utilization returns used/healthy — the fraction of healthy processors a
+// reconfiguration scheme actually employs. Graceful schemes score 1.0 by
+// definition; the spare-based baseline scores n/(n+k−f) after f faults.
+func Utilization(healthy, used int) float64 {
+	if healthy == 0 {
+		return 0
+	}
+	return float64(used) / float64(healthy)
+}

@@ -1,0 +1,343 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFlip(t *testing.T) {
+	s := New(64)
+	s.Flip(10)
+	if !s.Contains(10) {
+		t.Fatal("flip on")
+	}
+	s.Flip(10)
+	if s.Contains(10) {
+		t.Fatal("flip off")
+	}
+}
+
+func TestContainsBeyondCapacity(t *testing.T) {
+	s := New(10)
+	if s.Contains(1000) {
+		t.Fatal("Contains beyond capacity should be false")
+	}
+}
+
+func TestFromSliceAndSlice(t *testing.T) {
+	in := []int{5, 1, 99, 42}
+	s := FromSlice(100, in)
+	got := s.Slice()
+	want := []int{1, 5, 42, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromSlice(64, []int{1, 2, 3})
+	c := s.Clone()
+	c.Add(10)
+	if s.Contains(10) {
+		t.Fatal("Clone is not independent")
+	}
+	if !c.Contains(1) || !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("Clone lost elements")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice(64, []int{1})
+	b := FromSlice(64, []int{2, 3})
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CopyFrom capacity mismatch did not panic")
+			}
+		}()
+		a.CopyFrom(New(128))
+	}()
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(128, []int{1, 2, 3, 70})
+	b := FromSlice(128, []int{2, 3, 4, 100})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got, want := u.Count(), 6; got != want {
+		t.Fatalf("union count = %d, want %d", got, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Slice(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("intersect = %v, want [2 3]", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Slice(); len(got) != 2 || got[0] != 1 || got[1] != 70 {
+		t.Fatalf("difference = %v, want [1 70]", got)
+	}
+
+	if !a.Intersects(b) {
+		t.Fatal("Intersects false")
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("IntersectionCount = %d, want 2", got)
+	}
+	if a.Intersects(FromSlice(128, []int{9})) {
+		t.Fatal("Intersects true for disjoint sets")
+	}
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Fatal("SubsetOf false for intersection")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("SubsetOf true for non-subset")
+	}
+}
+
+func TestAlgebraMismatchedCapacities(t *testing.T) {
+	small := FromSlice(64, []int{1, 63})
+	big := FromSlice(256, []int{1, 200})
+
+	i := big.Clone()
+	i.IntersectWith(small)
+	if got := i.Slice(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("intersect = %v, want [1]", got)
+	}
+	d := small.Clone()
+	d.DifferenceWith(big)
+	if got := d.Slice(); len(got) != 1 || got[0] != 63 {
+		t.Fatalf("difference = %v, want [63]", got)
+	}
+	if !small.SubsetOf(big.Clone()) && small.SubsetOf(big) {
+		t.Fatal("inconsistent SubsetOf")
+	}
+	if big.SubsetOf(small) {
+		t.Fatal("big subset of small")
+	}
+	if !small.Intersects(big) {
+		t.Fatal("Intersects across capacities")
+	}
+}
+
+func TestEqualMixedCapacity(t *testing.T) {
+	a := FromSlice(64, []int{1, 2})
+	b := FromSlice(256, []int{1, 2})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("Equal should ignore trailing zero words")
+	}
+	b.Add(200)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("Equal should detect high-bit difference")
+	}
+}
+
+func TestMinAndNextAfter(t *testing.T) {
+	s := New(256)
+	if s.Min() != -1 {
+		t.Fatal("Min of empty set should be -1")
+	}
+	s.Add(70)
+	s.Add(5)
+	s.Add(200)
+	if got := s.Min(); got != 5 {
+		t.Fatalf("Min = %d, want 5", got)
+	}
+	seq := []int{}
+	for i := s.Min(); i != -1; i = s.NextAfter(i) {
+		seq = append(seq, i)
+	}
+	want := []int{5, 70, 200}
+	if len(seq) != 3 || seq[0] != want[0] || seq[1] != want[1] || seq[2] != want[2] {
+		t.Fatalf("iteration = %v, want %v", seq, want)
+	}
+	if got := s.NextAfter(-5); got != 5 {
+		t.Fatalf("NextAfter(-5) = %d, want 5", got)
+	}
+	if got := s.NextAfter(255); got != -1 {
+		t.Fatalf("NextAfter(255) = %d, want -1", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(64, []int{1, 2, 3, 4})
+	n := 0
+	s.ForEach(func(int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("ForEach visited %d, want 2", n)
+	}
+}
+
+func TestAppendTo(t *testing.T) {
+	s := FromSlice(64, []int{3, 1})
+	buf := []int{99}
+	buf = s.AppendTo(buf)
+	if len(buf) != 3 || buf[0] != 99 || buf[1] != 1 || buf[2] != 3 {
+		t.Fatalf("AppendTo = %v", buf)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice(64, []int{2, 5})
+	if got := s.String(); got != "{2, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromSlice(128, []int{1, 100})
+	s.Clear()
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("Clear did not empty set")
+	}
+	if s.Len() != 128 {
+		t.Fatalf("Len after Clear = %d, want 128", s.Len())
+	}
+}
+
+// Property: a Set behaves like a map[int]bool reference model.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 512
+		s := New(n)
+		model := map[int]bool{}
+		for _, op := range ops {
+			v := int(op) % n
+			switch op % 3 {
+			case 0:
+				s.Add(v)
+				model[v] = true
+			case 1:
+				s.Remove(v)
+				delete(model, v)
+			case 2:
+				s.Flip(v)
+				if model[v] {
+					delete(model, v)
+				} else {
+					model[v] = true
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		keys := make([]int, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		got := s.Slice()
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| = |A| + |B| - |A∩B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		const n = 300
+		a, b := New(n), New(n)
+		for i := 0; i < 80; i++ {
+			a.Add(rng.Intn(n))
+			b.Add(rng.Intn(n))
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		if u.Count() != a.Count()+b.Count()-a.IntersectionCount(b) {
+			t.Fatalf("inclusion-exclusion violated: |A|=%d |B|=%d |A∩B|=%d |A∪B|=%d",
+				a.Count(), b.Count(), a.IntersectionCount(b), u.Count())
+		}
+	}
+}
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := i % 4096
+		s.Add(v)
+		if !s.Contains(v) {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		s.Add(i)
+	}
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(v int) bool {
+			sum += v
+			return true
+		})
+	}
+	_ = sum
+}

@@ -1,0 +1,195 @@
+package construct_test
+
+import (
+	"testing"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+func TestAsymptoticRejectsBadParams(t *testing.T) {
+	if _, _, err := construct.Asymptotic(100, 3); err == nil {
+		t.Error("k=3 accepted; asymptotic construction requires k ≥ 4")
+	}
+	if _, _, err := construct.Asymptotic(construct.MinAsymptoticN(4)-1, 4); err == nil {
+		t.Error("n below MinAsymptoticN accepted")
+	}
+	if _, err := construct.ExtendedGraph(100, 3); err == nil {
+		t.Error("ExtendedGraph k=3 accepted")
+	}
+	if _, err := construct.ExtendedGraph(construct.MinAsymptoticN(5)-1, 5); err == nil {
+		t.Error("ExtendedGraph n too small accepted")
+	}
+}
+
+func TestAsymptoticG22_4Figure14(t *testing.T) {
+	// Figure 14: G_{22,4} — n=22, k=4, m=16, offsets {1,2,3}.
+	g, lay, err := construct.Asymptotic(22, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mustStandard(t, g, 22, 4)
+	if lay.M != 16 || lay.P != 2 || lay.HasBisector {
+		t.Fatalf("layout = %+v", lay)
+	}
+	// k even: every processor has degree exactly k+2 = 6.
+	for _, p := range g.Processors() {
+		if d := g.Degree(p); d != 6 {
+			t.Fatalf("processor %s degree %d, want 6", graph.NodeName(g, p), d)
+		}
+	}
+	if err := verify.CheckDegreeOptimal(g, 22, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Total nodes: n + 3k + 2 = 36.
+	if g.NumNodes() != 36 {
+		t.Fatalf("nodes = %d, want 36", g.NumNodes())
+	}
+	// Deleted S—S unit edges; S–R unit edge (k+1, k+2) present.
+	if g.HasEdge(lay.C[0], lay.C[1]) || g.HasEdge(lay.C[4], lay.C[5]) {
+		t.Fatal("S—S unit edge present; should be deleted")
+	}
+	if !g.HasEdge(lay.C[5], lay.C[6]) {
+		t.Fatal("S—R unit edge missing")
+	}
+	if !g.HasEdge(lay.C[0], lay.C[15]) {
+		t.Fatal("wraparound unit edge S[0]—R[m-1] missing")
+	}
+	// Chains: Ti[j]—I[j]—S[j], S[j]—O[j]—To[j].
+	for j := 1; j <= 5; j++ {
+		if !g.HasEdge(lay.Ti[j], lay.I[j]) || !g.HasEdge(lay.I[j], lay.C[j]) {
+			t.Fatalf("input chain broken at label %d", j)
+		}
+	}
+	for j := 0; j <= 4; j++ {
+		if !g.HasEdge(lay.C[j], lay.O[j]) || !g.HasEdge(lay.O[j], lay.To[j]) {
+			t.Fatalf("output chain broken at label %d", j)
+		}
+	}
+	// Deleted extended-graph nodes.
+	if lay.I[0] != -1 || lay.Ti[0] != -1 || lay.O[5] != -1 || lay.To[5] != -1 {
+		t.Fatal("label-0 input side / label-(k+1) output side should be deleted")
+	}
+}
+
+func TestAsymptoticG26_5Figure15(t *testing.T) {
+	// Figure 15: G_{26,5} with bisector edges. n even, k odd: m = 19 odd,
+	// the bisector offset ⌊19/2⌋ = 9 contributes two edges per ring node,
+	// max processor degree k+3 = 8 (forced by Lemma 3.5).
+	g, lay, err := construct.Asymptotic(26, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStandard(t, g, 26, 5)
+	if !lay.HasBisector || lay.Bisector != 9 || lay.M != 19 {
+		t.Fatalf("layout = %+v", lay)
+	}
+	if got := g.MaxProcessorDegree(); got != 8 {
+		t.Fatalf("max processor degree %d, want 8", got)
+	}
+	if err := verify.CheckDegreeOptimal(g, 26, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsymptoticOddNOddKDegree(t *testing.T) {
+	// n odd, k odd: m even, true bisector, every processor degree k+2.
+	g, lay, err := construct.Asymptotic(27, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.M%2 != 0 || !lay.HasBisector {
+		t.Fatalf("layout = %+v", lay)
+	}
+	for _, p := range g.Processors() {
+		if d := g.Degree(p); d != 7 {
+			t.Fatalf("processor %s degree %d, want k+2 = 7", graph.NodeName(g, p), d)
+		}
+	}
+}
+
+func TestAsymptoticNoFaultPipeline(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{22, 4}, {26, 5}, {40, 4}, {60, 6}, {61, 7}} {
+		g, lay, err := construct.Asymptotic(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		s := embed.NewSolver(g, embed.Options{Layout: lay})
+		res := s.Find(nil)
+		if !res.Found {
+			t.Fatalf("n=%d k=%d: no fault-free pipeline", tc.n, tc.k)
+		}
+		if err := verify.CheckPipeline(g, nil, res.Pipeline); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestAsymptoticRandomFaultsVerified(t *testing.T) {
+	g, lay, err := construct.Asymptotic(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Random(g, 4, 2000, 1, verify.Options{Solver: embed.Options{Layout: lay}})
+	if !rep.OK() {
+		t.Fatalf("random verification failed: %s %v", rep.String(), rep.Failures)
+	}
+}
+
+func TestAsymptoticStructuredMatchesBacktracking(t *testing.T) {
+	// The structured solver must agree with the complete engine.
+	g, lay, err := construct.Asymptotic(80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structured := embed.NewSolver(g, embed.Options{Layout: lay, Method: embed.Structured})
+	for seed := 0; seed < 40; seed++ {
+		faults := bitset.New(g.NumNodes())
+		// Deterministic pseudo-random 4-subsets.
+		x := seed*2654435761 + 12345
+		for c := 0; c < 4; c++ {
+			x = x*1103515245 + 12345
+			faults.Add(((x >> 8) & 0x7fffffff) % g.NumNodes())
+		}
+		res := structured.Find(faults)
+		if !res.Found {
+			t.Fatalf("seed %d: structured (with fallback) found no pipeline for faults %v", seed, faults.Slice())
+		}
+		if err := verify.CheckPipeline(g, faults, res.Pipeline); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestExtendedGraphRegularity(t *testing.T) {
+	// In G′ every node keeps its full regular degree (§3.4): processors in
+	// I/O/C all have degree k+2 for even k.
+	g, err := construct.ExtendedGraph(22, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Processors() {
+		if d := g.Degree(p); d != 7 {
+			// I and O nodes have clique k+1 + terminal + S = k+3; C nodes
+			// have 2(p+1) + I/O attachments... G′ is more regular but not
+			// uniform; just check the minimum behaviour:
+			if d < 6 {
+				t.Fatalf("processor %s degree %d < k+2", graph.NodeName(g, p), d)
+			}
+		}
+	}
+	// G′ has n + 3k + 6 nodes... processors: m + 2(k+2); terminals 2(k+2).
+	wantNodes := (22 - 4 - 2) + 4*(4+2)
+	if g.NumNodes() != wantNodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+}

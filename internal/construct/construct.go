@@ -1,0 +1,219 @@
+// Package construct implements every solution-graph construction in
+// Cypher & Laing, "Gracefully Degradable Pipeline Networks" (IPPS 1997):
+//
+//   - G1 — the unique standard solution for n = 1 (Lemma 3.7)
+//   - G2 — the unique standard solution for n = 2 (Lemma 3.9)
+//   - G3 — the solution for n = 3 and any k ≥ 1 (Figures 2/3, Lemma 3.12)
+//   - Extend — the Lemma 3.6 transformation G ↦ G′ for n + k + 1 nodes
+//   - the special solutions of Theorems 3.15/3.16 (specials.go)
+//   - the §3.4 asymptotic construction for k ≥ 4 (asymptotic.go)
+//   - Merge — the fault-free-terminal model transformation of §3
+//   - Design — the decision tree of Theorems 3.13/3.15/3.16 + Corollary 3.8
+//
+// All constructions produce *standard* graphs: node-optimal (k+1 input
+// terminals, k+1 output terminals, n+k processors) with every terminal of
+// degree 1.
+package construct
+
+import (
+	"fmt"
+
+	"gdpn/internal/graph"
+)
+
+// G1 returns the standard solution graph G_{1,k} of Lemma 3.7: a complete
+// graph on the k+1 processor nodes, each adjacent to one input terminal and
+// one output terminal (I = O). Its maximum processor degree is k+2, which is
+// degree-optimal by Corollary 3.3.
+func G1(k int) *graph.Graph {
+	mustK(k)
+	g := graph.New(fmt.Sprintf("G(n=1,k=%d)", k))
+	p := make([]int, k+1)
+	for j := range p {
+		p[j] = g.AddNode(graph.Processor, j)
+	}
+	for j := range p {
+		for l := j + 1; l < len(p); l++ {
+			g.AddEdge(p[j], p[l])
+		}
+	}
+	for j := range p {
+		g.AddEdge(g.AddNode(graph.InputTerminal, j), p[j])
+		g.AddEdge(g.AddNode(graph.OutputTerminal, j), p[j])
+	}
+	return g
+}
+
+// G2 returns the standard solution graph G_{2,k} of Lemma 3.9: a complete
+// graph on the k+2 processor nodes. Processor a = p0 carries only an input
+// terminal, processor b = p_{k+1} only an output terminal, and every other
+// processor carries one of each. Its maximum processor degree is k+3, which
+// is degree-optimal by Corollary 3.10.
+func G2(k int) *graph.Graph {
+	mustK(k)
+	g := graph.New(fmt.Sprintf("G(n=2,k=%d)", k))
+	p := make([]int, k+2)
+	for j := range p {
+		p[j] = g.AddNode(graph.Processor, j)
+	}
+	for j := range p {
+		for l := j + 1; l < len(p); l++ {
+			g.AddEdge(p[j], p[l])
+		}
+	}
+	// Input terminals i_j attach to p_j for j = 0..k (a = p0 gets one).
+	for j := 0; j <= k; j++ {
+		g.AddEdge(g.AddNode(graph.InputTerminal, j), p[j])
+	}
+	// Output terminals o_j attach to p_{j+1} for j = 0..k (b = p_{k+1}).
+	for j := 0; j <= k; j++ {
+		g.AddEdge(g.AddNode(graph.OutputTerminal, j), p[j+1])
+	}
+	return g
+}
+
+// G3 returns the solution graph G_{3,k} defined after Lemma 3.11 and shown
+// in Figures 2 (n+k even) and 3 (n+k odd): the complete graph on the k+3
+// processor nodes minus the matching {(p_{2q}, p_{2q+1})}, with input
+// terminals {i_0..i_{k-2}, i_k, i_{k+2}} attached to the like-indexed
+// processors and output terminals {o_0..o_{k-1}, o_{k+1}} likewise. The
+// indices i_{k-1}, o_k, i_{k+1}, o_{k+2} are deliberately absent. Maximum
+// processor degree is k+3 for k ≥ 2 (optimal by Lemma 3.11) and k+2 for
+// k = 1 (optimal by Corollary 3.2).
+func G3(k int) *graph.Graph {
+	mustK(k)
+	g := graph.New(fmt.Sprintf("G(n=3,k=%d)", k))
+	p := make([]int, k+3)
+	for j := range p {
+		p[j] = g.AddNode(graph.Processor, j)
+	}
+	// Complete graph minus the matching (p_{2q}, p_{2q+1}).
+	for j := range p {
+		for l := j + 1; l < len(p); l++ {
+			if l == j+1 && j%2 == 0 {
+				continue // matched pair, indicated by dotted ovals in the figures
+			}
+			g.AddEdge(p[j], p[l])
+		}
+	}
+	for j := 0; j <= k+2; j++ {
+		if j <= k-2 || j == k || j == k+2 {
+			g.AddEdge(g.AddNode(graph.InputTerminal, j), p[j])
+		}
+	}
+	for j := 0; j <= k+2; j++ {
+		if j <= k-1 || j == k+1 {
+			g.AddEdge(g.AddNode(graph.OutputTerminal, j), p[j])
+		}
+	}
+	return g
+}
+
+// Extend applies the Lemma 3.6 transformation: the input terminals of g are
+// relabeled as processor nodes and joined into a clique, and k+1 fresh input
+// terminals are attached, one per relabeled node. If g is a standard
+// k-gracefully-degradable graph for n nodes with maximum degree d, the
+// result is a standard k-gracefully-degradable graph for n + k + 1 nodes
+// with the same maximum degree d.
+//
+// The number of faults k is inferred from g's input-terminal count (a
+// standard graph has exactly k+1).
+func Extend(g *graph.Graph) *graph.Graph {
+	out := g.Clone()
+	ti := out.InputTerminals()
+	if len(ti) < 2 {
+		panic("construct: Extend requires a standard graph with k+1 ≥ 2 input terminals")
+	}
+	for _, t := range ti {
+		if out.Degree(t) != 1 {
+			panic("construct: Extend requires terminals of degree 1 (standard graph)")
+		}
+	}
+	// Relabel terminals as processors and join them into a clique.
+	maxLabel := -1
+	for v := 0; v < out.NumNodes(); v++ {
+		if out.Kind(v) == graph.Processor && out.Label(v) > maxLabel {
+			maxLabel = out.Label(v)
+		}
+	}
+	for idx, t := range ti {
+		out.SetKind(t, graph.Processor)
+		out.SetLabel(t, maxLabel+1+idx)
+	}
+	for a := range ti {
+		for b := a + 1; b < len(ti); b++ {
+			out.AddEdge(ti[a], ti[b])
+		}
+	}
+	// Fresh input terminals, one per relabeled node.
+	for idx, t := range ti {
+		nt := out.AddNode(graph.InputTerminal, idx)
+		out.AddEdge(nt, t)
+	}
+	out.SetName(extendName(g))
+	return out
+}
+
+func extendName(g *graph.Graph) string {
+	k := len(g.InputTerminals()) - 1
+	n := g.CountKind(graph.Processor) - k + k + 1 // (n+k) - k + (k+1): new n = old n + k + 1
+	_ = n
+	return fmt.Sprintf("Extend(%s)", g.Name())
+}
+
+// ExtendTimes applies Extend l times.
+func ExtendTimes(g *graph.Graph, l int) *graph.Graph {
+	for ; l > 0; l-- {
+		g = Extend(g)
+	}
+	return g
+}
+
+// Merge converts a standard solution graph into the fault-free-terminal
+// model of §3: the k+1 input terminals are merged into a single input node i
+// of degree k+1, and the output terminals likewise into a single output
+// node o. The resulting graph provides a pipeline between i and o after any
+// ≤ k processor faults, and k+1 is the minimum possible terminal degree
+// (fewer neighbors could all be faulty, isolating the terminal).
+func Merge(g *graph.Graph) *graph.Graph {
+	out := graph.New("Merged(" + g.Name() + ")")
+	// Copy processors, remembering the id mapping.
+	idMap := make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		idMap[v] = -1
+	}
+	for _, v := range g.Processors() {
+		idMap[v] = out.AddNode(graph.Processor, g.Label(v))
+	}
+	in := out.AddNode(graph.InputTerminal, 0)
+	o := out.AddNode(graph.OutputTerminal, 0)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v >= int(u) {
+				continue
+			}
+			a, b := mergedID(g, idMap, in, o, v), mergedID(g, idMap, in, o, int(u))
+			if a != b && !out.HasEdge(a, b) {
+				out.AddEdge(a, b)
+			}
+		}
+	}
+	return out
+}
+
+func mergedID(g *graph.Graph, idMap []int, in, o, v int) int {
+	switch g.Kind(v) {
+	case graph.InputTerminal:
+		return in
+	case graph.OutputTerminal:
+		return o
+	default:
+		return idMap[v]
+	}
+}
+
+func mustK(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("construct: k must be ≥ 1, got %d", k))
+	}
+}

@@ -1,0 +1,268 @@
+package construct_test
+
+import (
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+// mustGD exhaustively verifies GD(g, k) — a failing fault set is a bug in
+// either the construction or my reading of the paper.
+func mustGD(t *testing.T, g *graph.Graph, k int) {
+	t.Helper()
+	rep := verify.Exhaustive(g, k, verify.Options{})
+	if !rep.OK() {
+		t.Fatalf("%s not %d-gracefully-degradable: %s; first failures: %v",
+			g.Name(), k, rep.String(), rep.Failures)
+	}
+}
+
+func mustStandard(t *testing.T, g *graph.Graph, n, k int) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := verify.CheckStandard(g, n, k); err != nil {
+		t.Fatalf("CheckStandard(%s): %v", g.Name(), err)
+	}
+	if err := verify.CheckNecessaryConditions(g, n, k); err != nil {
+		t.Fatalf("CheckNecessaryConditions(%s): %v", g.Name(), err)
+	}
+}
+
+func TestG1Structure(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		g := construct.G1(k)
+		mustStandard(t, g, 1, k)
+		// Lemma 3.7: clique on k+1 processors, each with one terminal of
+		// each kind; max degree k+2 (Corollary 3.3: degree-optimal).
+		if got := g.MaxProcessorDegree(); got != k+2 {
+			t.Errorf("k=%d: max processor degree %d, want %d", k, got, k+2)
+		}
+		if err := verify.CheckDegreeOptimal(g, 1, k); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		procs := g.Processors()
+		for _, a := range procs {
+			for _, b := range procs {
+				if a < b && !g.HasEdge(a, b) {
+					t.Errorf("k=%d: processors %d,%d not adjacent (clique required)", k, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestG1GracefullyDegradable(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		mustGD(t, construct.G1(k), k)
+	}
+}
+
+func TestG1NotK1Degradable(t *testing.T) {
+	// construct.G1(k) must NOT tolerate k+1 faults: killing all k+1 input terminals
+	// leaves no pipeline start.
+	g := construct.G1(2)
+	rep := verify.Exhaustive(g, 3, verify.Options{})
+	if rep.OK() {
+		t.Fatal("construct.G1(2) should not be 3-gracefully-degradable")
+	}
+	if rep.UnknownCount != 0 || len(rep.SolverBugs) != 0 {
+		t.Fatalf("unexpected unknowns/bugs: %s", rep.String())
+	}
+}
+
+func TestG2Structure(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		g := construct.G2(k)
+		mustStandard(t, g, 2, k)
+		if got := g.MaxProcessorDegree(); got != k+3 {
+			t.Errorf("k=%d: max processor degree %d, want %d", k, got, k+3)
+		}
+		if err := verify.CheckDegreeOptimal(g, 2, k); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		// Exactly one processor lacks an output terminal (a) and one lacks
+		// an input terminal (b).
+		noIn, noOut := 0, 0
+		for _, p := range g.Processors() {
+			hasIn, hasOut := false, false
+			for _, u := range g.Neighbors(p) {
+				switch g.Kind(int(u)) {
+				case graph.InputTerminal:
+					hasIn = true
+				case graph.OutputTerminal:
+					hasOut = true
+				}
+			}
+			if !hasIn {
+				noIn++
+			}
+			if !hasOut {
+				noOut++
+			}
+		}
+		if noIn != 1 || noOut != 1 {
+			t.Errorf("k=%d: %d processors lack input, %d lack output; want 1 and 1", k, noIn, noOut)
+		}
+	}
+}
+
+func TestG2GracefullyDegradable(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		mustGD(t, construct.G2(k), k)
+	}
+}
+
+func TestG3Structure(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		g := construct.G3(k)
+		mustStandard(t, g, 3, k)
+		want := k + 3
+		if k == 1 {
+			want = k + 2
+		}
+		if got := g.MaxProcessorDegree(); got != want {
+			t.Errorf("k=%d: max processor degree %d, want %d", k, got, want)
+		}
+		if err := verify.CheckDegreeOptimal(g, 3, k); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		// Complete minus matching: pairs (p_{2q}, p_{2q+1}) non-adjacent.
+		procs := g.Processors()
+		for j := 0; j+1 < len(procs); j += 2 {
+			if g.HasEdge(procs[j], procs[j+1]) {
+				t.Errorf("k=%d: matched pair (p%d,p%d) should not be adjacent", k, j, j+1)
+			}
+		}
+	}
+}
+
+func TestG3GracefullyDegradable(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		mustGD(t, construct.G3(k), k)
+	}
+}
+
+func TestG3MissingTerminalIndices(t *testing.T) {
+	// The definition omits i_{k-1}, o_k, i_{k+1}, o_{k+2}.
+	for k := 2; k <= 5; k++ {
+		g := construct.G3(k)
+		for _, absent := range []struct {
+			kind  graph.Kind
+			label int
+		}{
+			{graph.InputTerminal, k - 1},
+			{graph.OutputTerminal, k},
+			{graph.InputTerminal, k + 1},
+			{graph.OutputTerminal, k + 2},
+		} {
+			if v := g.NodeByKindLabel(absent.kind, absent.label); v != -1 {
+				t.Errorf("k=%d: terminal %v %d should be absent", k, absent.kind, absent.label)
+			}
+		}
+	}
+}
+
+func TestExtendPreservesStandardAndDegree(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		base := construct.G1(k)
+		d := base.MaxDegree()
+		ext := construct.Extend(base)
+		mustStandard(t, ext, 1+k+1, k)
+		if got := ext.MaxDegree(); got != d {
+			t.Errorf("k=%d: Extend changed max degree %d -> %d", k, d, got)
+		}
+	}
+}
+
+func TestExtendGracefullyDegradable(t *testing.T) {
+	// Lemma 3.6: Extend preserves k-graceful degradability.
+	for k := 1; k <= 3; k++ {
+		mustGD(t, construct.Extend(construct.G1(k)), k)
+		mustGD(t, construct.Extend(construct.G2(k)), k)
+	}
+}
+
+func TestExtendTimesChain(t *testing.T) {
+	// Corollary 3.8: n = (k+1)l + 1 via repeated extension.
+	k := 2
+	g := construct.ExtendTimes(construct.G1(k), 2) // n = 1 + 2(k+1) = 7
+	mustStandard(t, g, 7, k)
+	mustGD(t, g, k)
+	if err := verify.CheckDegreeOptimal(g, 7, k); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtendRequiresStandard(t *testing.T) {
+	g := graph.New("bad")
+	p := g.AddNode(graph.Processor, 0)
+	ti := g.AddNode(graph.InputTerminal, 0)
+	ti2 := g.AddNode(graph.InputTerminal, 1)
+	g.AddEdge(ti, p)
+	g.AddEdge(ti2, p)
+	g.AddEdge(ti, ti2) // terminal of degree 2: not standard
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend accepted a non-standard graph")
+		}
+	}()
+	construct.Extend(g)
+}
+
+func TestExtendRequiresTwoTerminals(t *testing.T) {
+	g := graph.New("one-terminal")
+	p := g.AddNode(graph.Processor, 0)
+	ti := g.AddNode(graph.InputTerminal, 0)
+	g.AddEdge(ti, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend accepted a single-terminal graph")
+		}
+	}()
+	construct.Extend(g)
+}
+
+func TestMergeShape(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for _, base := range []*graph.Graph{construct.G1(k), construct.G2(k), construct.G3(k)} {
+			m := construct.Merge(base)
+			n := base.CountKind(graph.Processor) - k
+			if err := verify.CheckMerged(m, n, k); err != nil {
+				t.Errorf("k=%d %s: %v", k, base.Name(), err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Errorf("k=%d: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestMergeGracefullyDegradableProcessorFaults(t *testing.T) {
+	// In the merged model terminals are fault-free; faults hit processors.
+	for k := 1; k <= 3; k++ {
+		m := construct.Merge(construct.G2(k))
+		rep := verify.Exhaustive(m, k, verify.Options{Universe: verify.ProcessorsOnly})
+		if !rep.OK() {
+			t.Errorf("k=%d: merged model failed: %s %v", k, rep.String(), rep.Failures)
+		}
+	}
+}
+
+func TestMustKPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { construct.G1(0) }, func() { construct.G2(0) }, func() { construct.G3(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("k < 1 did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

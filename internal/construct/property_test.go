@@ -1,0 +1,168 @@
+package construct_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/verify"
+)
+
+// Property: for every (n, k) Design accepts, the result is a standard
+// graph satisfying the paper's necessary conditions, with max degree
+// within one of the lower bound.
+func TestQuickDesignInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(8)
+		sol, err := construct.Design(n, k)
+		if err != nil {
+			// Only the documented open gap may fail.
+			return k >= 4 && n >= 4 && n < construct.MinAsymptoticN(k) &&
+				n%(k+1) != 1%(k+1) && n%(k+1) != 2%(k+1) && n%(k+1) != 3%(k+1)
+		}
+		if verify.CheckStandard(sol.Graph, n, k) != nil {
+			return false
+		}
+		if verify.CheckNecessaryConditions(sol.Graph, n, k) != nil {
+			return false
+		}
+		bound := construct.DegreeLowerBound(n, k)
+		if sol.MaxDegree < bound || sol.MaxDegree > bound+1 {
+			return false
+		}
+		if sol.DegreeOptimal != (sol.MaxDegree == bound) {
+			return false
+		}
+		return sol.Graph.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every designed graph tolerates every random fault set of size
+// ≤ k, and the pipeline covers all healthy processors.
+func TestQuickDesignTolerance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		k := 1 + rng.Intn(4)
+		sol, err := construct.Design(n, k)
+		if err != nil {
+			return true // open gap
+		}
+		solver := embed.NewSolver(sol.Graph, embed.Options{Layout: sol.Layout})
+		for trial := 0; trial < 10; trial++ {
+			faults := bitset.New(sol.Graph.NumNodes())
+			for faults.Count() < rng.Intn(k+1) {
+				faults.Add(rng.Intn(sol.Graph.NumNodes()))
+			}
+			r := solver.Find(faults)
+			if !r.Found {
+				return false
+			}
+			if verify.CheckPipeline(sol.Graph, faults, r.Pipeline) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Extend adds exactly k+1 processors and preserves the standard
+// shape, the max degree, and the terminal counts, for any valid base.
+func TestQuickExtendInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		var base *construct.Solution
+		var n int
+		switch rng.Intn(3) {
+		case 0:
+			n = 1
+		case 1:
+			n = 2
+		default:
+			n = 3
+		}
+		base, err := construct.Design(n, k)
+		if err != nil {
+			return false
+		}
+		ext := construct.Extend(base.Graph)
+		if verify.CheckStandard(ext, n+k+1, k) != nil {
+			return false
+		}
+		return ext.MaxDegree() == base.Graph.MaxDegree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge always produces single terminals of degree exactly k+1
+// and keeps the processor subgraph intact.
+func TestQuickMergeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(3)
+		sol, err := construct.Design(n, k)
+		if err != nil {
+			return true
+		}
+		m := construct.Merge(sol.Graph)
+		if verify.CheckMerged(m, n, k) != nil {
+			return false
+		}
+		// Processor subgraph preserved: same processor count and edges
+		// between processors.
+		pg, pm := sol.Graph.Processors(), m.Processors()
+		if len(pg) != len(pm) {
+			return false
+		}
+		for i := range pg {
+			for j := i + 1; j < len(pg); j++ {
+				if sol.Graph.HasEdge(pg[i], pg[j]) != m.HasEdge(pm[i], pm[j]) {
+					return false
+				}
+			}
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the asymptotic construction has node count n+3k+2, ring size
+// n-k-2, and degree exactly the lower bound, for every constructible pair.
+func TestQuickAsymptoticInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 4 + rng.Intn(6)
+		n := construct.MinAsymptoticN(k) + rng.Intn(60)
+		g, lay, err := construct.Asymptotic(n, k)
+		if err != nil {
+			return false
+		}
+		if g.NumNodes() != n+3*k+2 || lay.M != n-k-2 {
+			return false
+		}
+		if g.MaxProcessorDegree() != construct.DegreeLowerBound(n, k) {
+			return false
+		}
+		return verify.CheckStandard(g, n, k) == nil && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package core is the top-level API of gdpn, the Go reproduction of
+// Cypher & Laing, "Gracefully Degradable Pipeline Networks" (IPPS 1997).
+//
+// A Network wraps a designed k-gracefully-degradable solution graph with a
+// fault set and a reconfiguration solver:
+//
+//	nw, _ := core.Design(22, 4)        // G_{22,4}, Figure 14
+//	p, _ := nw.Pipeline()              // fault-free pipeline
+//	_ = nw.Inject(7)                   // a processor dies
+//	p, _ = nw.Pipeline()               // remapped; still uses ALL healthy processors
+//
+// Design follows the paper's decision tree (Theorems 3.13/3.15/3.16,
+// Corollary 3.8, §3.4); every pipeline returned by Pipeline is certificate-
+// checked by the verifier before it reaches the caller. The underlying
+// machinery lives in internal/construct (constructions), internal/embed
+// (solvers), internal/verify (verification), internal/search (the computer
+// search behind the special solutions), and internal/pipeline (the
+// streaming runtime).
+package core
+
+import (
+	"fmt"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+// Network is a k-gracefully-degradable pipeline network with live fault
+// state. It is not safe for concurrent mutation; wrap it if shared.
+type Network struct {
+	sol    *construct.Solution
+	solver *embed.Solver
+	faults bitset.Set
+}
+
+// Design builds the paper's standard solution graph for n pipeline
+// processors tolerating up to k faults. See construct.Design for the
+// decision tree and the (k ≥ 4, small n) gap the paper leaves open.
+func Design(n, k int) (*Network, error) {
+	sol, err := construct.Design(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return FromSolution(sol), nil
+}
+
+// FromSolution wraps an existing construction (e.g. a search-derived or
+// hand-built solution) as a Network.
+func FromSolution(sol *construct.Solution) *Network {
+	return &Network{
+		sol:    sol,
+		solver: embed.NewSolver(sol.Graph, embed.Options{Layout: sol.Layout}),
+		faults: bitset.New(sol.Graph.NumNodes()),
+	}
+}
+
+// Graph returns the underlying labeled graph.
+func (nw *Network) Graph() *graph.Graph { return nw.sol.Graph }
+
+// Solution returns the construction metadata.
+func (nw *Network) Solution() *construct.Solution { return nw.sol }
+
+// N returns the guaranteed pipeline length under k faults.
+func (nw *Network) N() int { return nw.sol.N }
+
+// K returns the design fault tolerance.
+func (nw *Network) K() int { return nw.sol.K }
+
+// Faults returns a copy of the current fault set.
+func (nw *Network) Faults() bitset.Set { return nw.faults.Clone() }
+
+// FaultCount returns the number of injected faults.
+func (nw *Network) FaultCount() int { return nw.faults.Count() }
+
+// Inject marks a node faulty. Injecting more than k faults is allowed —
+// the guarantee is simply gone, and Pipeline may start failing.
+func (nw *Network) Inject(node int) error {
+	if node < 0 || node >= nw.sol.Graph.NumNodes() {
+		return fmt.Errorf("core: node %d out of range", node)
+	}
+	if nw.faults.Contains(node) {
+		return fmt.Errorf("core: node %d already faulty", node)
+	}
+	nw.faults.Add(node)
+	return nil
+}
+
+// Repair marks a node healthy again.
+func (nw *Network) Repair(node int) error {
+	if node < 0 || node >= nw.sol.Graph.NumNodes() || !nw.faults.Contains(node) {
+		return fmt.Errorf("core: node %d is not faulty", node)
+	}
+	nw.faults.Remove(node)
+	return nil
+}
+
+// Reset clears all faults.
+func (nw *Network) Reset() { nw.faults.Clear() }
+
+// Pipeline computes a pipeline for the current fault set: a path from a
+// healthy input terminal to a healthy output terminal visiting every
+// healthy processor. The result is certificate-checked before being
+// returned. With at most k faults it never fails on a designed network;
+// beyond k faults it returns an error when no pipeline survives.
+func (nw *Network) Pipeline() (graph.Path, error) {
+	res := nw.solver.Find(nw.faults)
+	if res.Unknown {
+		return nil, fmt.Errorf("core: solver budget exhausted (faults=%v)", nw.faults.Slice())
+	}
+	if !res.Found {
+		return nil, fmt.Errorf("core: no pipeline for fault set %v", nw.faults.Slice())
+	}
+	if err := verify.CheckPipeline(nw.sol.Graph, nw.faults, res.Pipeline); err != nil {
+		return nil, fmt.Errorf("core: solver returned invalid pipeline: %w", err)
+	}
+	return res.Pipeline, nil
+}
+
+// HealthyProcessors returns the number of currently healthy processors —
+// the length every pipeline returned by Pipeline has (graceful degradation).
+func (nw *Network) HealthyProcessors() int {
+	c := 0
+	for _, p := range nw.sol.Graph.Processors() {
+		if !nw.faults.Contains(p) {
+			c++
+		}
+	}
+	return c
+}
+
+// VerifyExhaustive machine-checks GD(G, k) for this network by enumerating
+// every fault set of size ≤ k. Feasible for small networks; see
+// verify.Exhaustive for the cost model.
+func (nw *Network) VerifyExhaustive() *verify.Report {
+	return verify.Exhaustive(nw.sol.Graph, nw.sol.K, verify.Options{
+		Solver: embed.Options{Layout: nw.sol.Layout},
+	})
+}
+
+// VerifyRandom samples `trials` random fault sets of size ≤ k.
+func (nw *Network) VerifyRandom(trials int, seed int64) *verify.Report {
+	return verify.Random(nw.sol.Graph, nw.sol.K, trials, seed, verify.Options{
+		Solver: embed.Options{Layout: nw.sol.Layout},
+	})
+}
+
+// Merged returns the fault-free-terminal variant of this network's graph
+// (§3): terminals merged to a single input and output node of degree k+1.
+func (nw *Network) Merged() *graph.Graph { return construct.Merge(nw.sol.Graph) }

@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"testing"
+
+	"gdpn/internal/core"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+func TestDesignAndPipelineLifecycle(t *testing.T) {
+	nw, err := core.Design(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 10 || nw.K() != 2 {
+		t.Fatalf("N/K = %d/%d", nw.N(), nw.K())
+	}
+	p, err := nw.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 12+2 { // n+k processors + 2 terminals
+		t.Fatalf("pipeline length %d", len(p))
+	}
+	// Inject up to k faults; pipeline must always cover all healthy.
+	victims := []int{p[1], p[5]}
+	for i, v := range victims {
+		if err := nw.Inject(v); err != nil {
+			t.Fatal(err)
+		}
+		q, err := nw.Pipeline()
+		if err != nil {
+			t.Fatalf("after %d faults: %v", i+1, err)
+		}
+		if len(q)-2 != nw.HealthyProcessors() {
+			t.Fatalf("pipeline uses %d processors, %d healthy", len(q)-2, nw.HealthyProcessors())
+		}
+	}
+	if nw.FaultCount() != 2 {
+		t.Fatalf("fault count %d", nw.FaultCount())
+	}
+	// Repair and reset.
+	if err := nw.Repair(victims[0]); err != nil {
+		t.Fatal(err)
+	}
+	if nw.FaultCount() != 1 {
+		t.Fatal("repair did not remove fault")
+	}
+	nw.Reset()
+	if nw.FaultCount() != 0 || nw.HealthyProcessors() != 12 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestInjectRepairErrors(t *testing.T) {
+	nw, err := core.Design(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Inject(-1); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if err := nw.Inject(nw.Graph().NumNodes()); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if err := nw.Inject(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Inject(0); err == nil {
+		t.Fatal("double inject accepted")
+	}
+	if err := nw.Repair(1); err == nil {
+		t.Fatal("repair of healthy node accepted")
+	}
+	if err := nw.Repair(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineFailsBeyondBudget(t *testing.T) {
+	nw, err := core.Design(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill both input terminals (k+1 = 2 > k faults): no pipeline.
+	for _, ti := range nw.Graph().InputTerminals() {
+		if err := nw.Inject(ti); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Pipeline(); err == nil {
+		t.Fatal("pipeline with all inputs dead")
+	}
+}
+
+func TestFaultsReturnsCopy(t *testing.T) {
+	nw, err := core.Design(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := nw.Faults()
+	f.Add(3)
+	if nw.FaultCount() != 0 {
+		t.Fatal("Faults() exposed internal state")
+	}
+}
+
+func TestVerifyExhaustiveOnNetwork(t *testing.T) {
+	nw, err := core.Design(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.VerifyExhaustive()
+	if !rep.OK() {
+		t.Fatalf("G(6,2): %s %v", rep.String(), rep.Failures)
+	}
+	rr := nw.VerifyRandom(200, 3)
+	if !rr.OK() {
+		t.Fatalf("random: %s", rr.String())
+	}
+}
+
+func TestMergedNetwork(t *testing.T) {
+	nw, err := core.Design(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nw.Merged()
+	if err := verify.CheckMerged(m, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.CountKind(graph.InputTerminal) != 1 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestDesignErrors(t *testing.T) {
+	if _, err := core.Design(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := core.Design(9, 4); err == nil {
+		t.Fatal("open gap (9,4) accepted")
+	}
+}
+
+func TestSolutionMetadataExposed(t *testing.T) {
+	nw, err := core.Design(22, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := nw.Solution()
+	if sol.Method != "asymptotic" || sol.Layout == nil || !sol.DegreeOptimal {
+		t.Fatalf("solution metadata: %+v", sol)
+	}
+}

@@ -1,0 +1,334 @@
+// Package embed finds pipelines in faulty solution graphs: given a graph G
+// and a fault set F, it searches for a path in G \ F that starts at a
+// healthy input terminal, ends at a healthy output terminal, and visits
+// every healthy processor (the paper's definition of "G tolerates F", §2).
+//
+// Four engine tiers are provided, and the Auto method stages them from
+// cheapest to most general:
+//
+//   - a constructive planner for the §3.4 asymptotic family (planner.go):
+//     O(n) for fixed k, search-free, resolves ≥99.8% of random fault sets
+//     (experiment P3);
+//   - an exact Held–Karp dynamic program (exact.go), complete for up to
+//     MaxDPProcessors healthy processors; used where nonexistence must be
+//     decided (the search module, uniqueness proofs);
+//   - a pruned backtracking search (backtrack.go), complete when given an
+//     unlimited budget, with Warnsdorff ordering, forced-move and
+//     degree/connectivity pruning; the workhorse of exhaustive
+//     verification;
+//   - a run-compression search for the asymptotic family (structured.go)
+//     that collapses long healthy circulant runs into three-node corridors
+//     and solves a fault-local subproblem whose size depends on k but not n.
+//
+// Every engine returns either a full pipeline (which callers re-validate
+// with verify.CheckPipeline) or "not found"; the search engines can also
+// report "unknown" when an explicit node budget is exhausted.
+package embed
+
+import (
+	"fmt"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+)
+
+// MaxDPProcessors is the largest healthy-processor count the exact DP
+// accepts (2^n masks are materialized).
+const MaxDPProcessors = 22
+
+// Method selects a solver engine.
+type Method int
+
+const (
+	// Auto picks: Structured when a layout is supplied and applicable,
+	// otherwise DP for small instances, otherwise Backtracking.
+	Auto Method = iota
+	// DP forces the exact Held–Karp dynamic program.
+	DP
+	// Backtracking forces the pruned DFS.
+	Backtracking
+	// Structured forces the asymptotic-family solver (requires Options.Layout).
+	Structured
+)
+
+// String returns the engine name.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case DP:
+		return "dp"
+	case Backtracking:
+		return "backtracking"
+	case Structured:
+		return "structured"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Options configures a Solver.
+type Options struct {
+	// Method selects the engine (default Auto).
+	Method Method
+	// Layout enables the structured engine for graphs built by
+	// construct.Asymptotic.
+	Layout *construct.Layout
+	// Budget bounds the number of DFS node expansions in the backtracking
+	// engine; 0 means DefaultBudget. When the budget is exhausted the
+	// result is Unknown = true rather than Found = false.
+	Budget int64
+}
+
+// DefaultBudget is the backtracking node-expansion budget used when
+// Options.Budget is 0. It is far above what any instance in the test and
+// experiment suites requires; exhaustion indicates an adversarial instance
+// and is reported as Unknown, never as refutation.
+const DefaultBudget = 50_000_000
+
+// Result reports the outcome of a pipeline search.
+type Result struct {
+	// Pipeline is the full terminal-to-terminal path when Found.
+	Pipeline graph.Path
+	// Found reports that a pipeline exists (and Pipeline holds one).
+	Found bool
+	// Unknown reports that the backtracking budget was exhausted before
+	// the search space was covered; Found is false but nonexistence has
+	// NOT been established.
+	Unknown bool
+	// Method is the engine that produced the outcome.
+	Method Method
+	// Expansions counts DFS node expansions (backtracking) or DP
+	// transitions (exact).
+	Expansions int64
+}
+
+// TierStats counts which engine tier resolved each Find call — the
+// portfolio's division of labour, reported by the P1/P3 ablation
+// experiments. Tiers are mutually exclusive per call.
+type TierStats struct {
+	// Planner counts calls solved by the constructive asymptotic planner.
+	Planner int64
+	// Compressed counts calls solved by the run-compression search.
+	Compressed int64
+	// Probe counts calls resolved by the cheap first-pass backtracking.
+	Probe int64
+	// DP counts calls resolved by the exact Held–Karp engine.
+	DP int64
+	// Full counts calls that needed the full-budget backtracking pass.
+	Full int64
+	// Trivial counts calls resolved before any engine ran (no healthy
+	// terminals, single processor, …).
+	Trivial int64
+}
+
+// Total returns the number of Find calls accounted for.
+func (t TierStats) Total() int64 {
+	return t.Planner + t.Compressed + t.Probe + t.DP + t.Full + t.Trivial
+}
+
+// Solver finds pipelines in a fixed graph under varying fault sets. It
+// reuses scratch buffers across calls; a Solver is NOT safe for concurrent
+// use — create one per goroutine (they are cheap).
+type Solver struct {
+	g     *graph.Graph
+	opts  Options
+	stats TierStats
+
+	// Scratch reused across calls.
+	procs   []int // processor node ids
+	procIdx []int // node id -> processor index, -1 otherwise
+	healthy []int // healthy processor indices (into procs)
+	dpTable []uint32
+	bt      *backtracker
+}
+
+// NewSolver returns a Solver for g.
+func NewSolver(g *graph.Graph, opts Options) *Solver {
+	s := &Solver{g: g, opts: opts}
+	s.procs = g.Processors()
+	s.procIdx = make([]int, g.NumNodes())
+	for i := range s.procIdx {
+		s.procIdx[i] = -1
+	}
+	for i, p := range s.procs {
+		s.procIdx[p] = i
+	}
+	if s.opts.Budget == 0 {
+		s.opts.Budget = DefaultBudget
+	}
+	return s
+}
+
+// Stats returns cumulative per-tier resolution counts for this solver.
+func (s *Solver) Stats() TierStats { return s.stats }
+
+// Find searches for a pipeline in g \ faults. faults may be nil (no
+// faults). The returned Result.Pipeline is freshly allocated.
+func (s *Solver) Find(faults bitset.Set) Result {
+	ends, ok := s.endpoints(faults)
+	if !ok {
+		s.stats.Trivial++
+		return Result{Found: false}
+	}
+
+	// Single-processor special case: the pipeline is i — p — o.
+	if len(ends.healthyProcs) == 1 {
+		s.stats.Trivial++
+		p := ends.healthyProcs[0]
+		ti, to := -1, -1
+		for _, u := range s.g.Neighbors(p) {
+			if faults != nil && faults.Contains(int(u)) {
+				continue
+			}
+			switch s.g.Kind(int(u)) {
+			case graph.InputTerminal:
+				ti = int(u)
+			case graph.OutputTerminal:
+				to = int(u)
+			}
+		}
+		if ti >= 0 && to >= 0 {
+			return Result{Pipeline: graph.Path{ti, p, to}, Found: true, Method: Auto}
+		}
+		return Result{Found: false}
+	}
+
+	switch s.opts.Method {
+	case DP:
+		return s.findDP(ends)
+	case Backtracking:
+		return s.findBacktrack(ends, s.opts.Budget)
+	case Structured:
+		res := s.findStructured(faults, ends)
+		if res.Found || !res.Unknown {
+			return res
+		}
+		// Structured solver declined; escalate to the complete portfolio.
+		fb := s.portfolio(faults, ends)
+		fb.Method = Structured
+		return fb
+	default: // Auto: staged portfolio, cheapest engine first.
+		return s.portfolio(faults, ends)
+	}
+}
+
+// probeBudget is the cheap first-pass backtracking budget in the portfolio;
+// typical instances resolve within a few hundred expansions, so anything
+// that exhausts it is handed to the structured engine (when a layout is
+// available), then the exact DP, then a full-budget backtracking pass.
+const probeBudget = 50_000
+
+// portfolio runs the engines in increasing-cost order. Its result is exact
+// unless the final full-budget pass itself reports Unknown.
+func (s *Solver) portfolio(faults bitset.Set, e endpoints) Result {
+	// The constructive planner is the cheapest applicable tier on the
+	// asymptotic family: O(n), no search, and it covers almost every fault
+	// set (experiment P3 measures the hit rate).
+	if s.opts.Layout != nil {
+		if planned := s.planAsymptotic(faults); planned != nil {
+			s.stats.Planner++
+			return Result{Pipeline: planned, Found: true, Method: Structured}
+		}
+	}
+	np := len(e.healthyProcs)
+	if np <= 18 {
+		s.stats.DP++
+		return s.findDP(e)
+	}
+	pb := int64(probeBudget)
+	if s.opts.Budget < pb {
+		pb = s.opts.Budget
+	}
+	res := s.findBacktrack(e, pb)
+	if !res.Unknown {
+		s.stats.Probe++
+		return res
+	}
+	if s.opts.Layout != nil {
+		cr := s.findCompressed(faults, e)
+		if cr.Found || !cr.Unknown {
+			return cr
+		}
+	}
+	if np <= MaxDPProcessors {
+		s.stats.DP++
+		return s.findDP(e)
+	}
+	s.stats.Full++
+	return s.findBacktrack(e, s.opts.Budget)
+}
+
+// FindPipeline is the convenience form: it builds a throwaway solver with
+// default options and returns the pipeline and whether one was found.
+func FindPipeline(g *graph.Graph, faults bitset.Set) (graph.Path, bool) {
+	r := NewSolver(g, Options{}).Find(faults)
+	return r.Pipeline, r.Found
+}
+
+// endpoints holds the per-fault-set problem statement: the healthy
+// processors and the processor-side endpoint candidates.
+type endpoints struct {
+	faults       bitset.Set
+	healthyProcs []int      // node ids of healthy processors
+	start, end   bitset.Set // over processor node ids: candidates adjacent to healthy terminals
+}
+
+// endpoints computes the healthy processors and endpoint candidate sets.
+// It returns ok=false when no pipeline can exist for trivial reasons (no
+// healthy input or output terminal connection).
+func (s *Solver) endpoints(faults bitset.Set) (endpoints, bool) {
+	e := endpoints{faults: faults}
+	s.healthy = s.healthy[:0]
+	for _, p := range s.procs {
+		if faults == nil || !faults.Contains(p) {
+			s.healthy = append(s.healthy, p)
+		}
+	}
+	e.healthyProcs = s.healthy
+	if len(e.healthyProcs) == 0 {
+		return e, false
+	}
+	n := s.g.NumNodes()
+	e.start = bitset.New(n)
+	e.end = bitset.New(n)
+	for _, p := range e.healthyProcs {
+		for _, u := range s.g.Neighbors(p) {
+			if faults != nil && faults.Contains(int(u)) {
+				continue
+			}
+			switch s.g.Kind(int(u)) {
+			case graph.InputTerminal:
+				e.start.Add(p)
+			case graph.OutputTerminal:
+				e.end.Add(p)
+			}
+		}
+	}
+	if e.start.Empty() || e.end.Empty() {
+		return e, false
+	}
+	return e, true
+}
+
+// assemble wraps a processor path with a healthy input terminal at the
+// front and a healthy output terminal at the back.
+func (s *Solver) assemble(e endpoints, procPath []int) graph.Path {
+	ti := s.healthyTerminal(procPath[0], graph.InputTerminal, e.faults)
+	to := s.healthyTerminal(procPath[len(procPath)-1], graph.OutputTerminal, e.faults)
+	out := make(graph.Path, 0, len(procPath)+2)
+	out = append(out, ti)
+	out = append(out, procPath...)
+	out = append(out, to)
+	return out
+}
+
+func (s *Solver) healthyTerminal(p int, kind graph.Kind, faults bitset.Set) int {
+	for _, u := range s.g.Neighbors(p) {
+		if s.g.Kind(int(u)) == kind && (faults == nil || !faults.Contains(int(u))) {
+			return int(u)
+		}
+	}
+	panic("embed: endpoint candidate lost its terminal")
+}

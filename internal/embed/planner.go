@@ -1,0 +1,655 @@
+package embed
+
+import (
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+)
+
+// planAsymptotic constructs a pipeline for the §3.4 family directly,
+// without search. The route is always
+//
+//	Ti[a] → I[a] → (all healthy I, clique order) → I[b] → S[b]
+//	      → (cover all healthy C, ending adjacent to S[c]) → S[c]
+//	      → O[c] → (all healthy O, clique order) → O[d] → To[d]
+//
+// and the interesting part is covering the ring C. Fault runs longer than
+// p split the R interval into up to two "blocks", each reachable from one
+// side only; a block can be traversed straight through (enter one end,
+// leave the other) or — when it is contiguous — zigzagged (enter and leave
+// at the same end on adjacent positions: lo, lo+2, …, top, top∓1, …, lo+1).
+// The healthy S labels and the blocks are threaded together by an exact
+// bitmask DP over at most k+2+2 items, so the planner runs in
+// O(m + 2^k·poly(k)) — effectively O(n) for fixed k. Every produced path
+// is validated locally before being returned; nil means "no plan of this
+// shape", and the caller falls back to the complete search engines.
+func (s *Solver) planAsymptotic(faults bitset.Set) graph.Path {
+	lay := s.opts.Layout
+	if lay == nil {
+		return nil
+	}
+	m, k, p := lay.M, lay.K, lay.P
+	ok := func(v int) bool { return v >= 0 && (faults == nil || !faults.Contains(v)) }
+
+	// Endpoint label candidates.
+	var healthyI, healthyO []int
+	for j := 1; j <= k+1; j++ {
+		if ok(lay.I[j]) {
+			healthyI = append(healthyI, j)
+		}
+	}
+	for j := 0; j <= k; j++ {
+		if ok(lay.O[j]) {
+			healthyO = append(healthyO, j)
+		}
+	}
+	if len(healthyI) == 0 || len(healthyO) == 0 {
+		return nil
+	}
+	var bCands, cCands []int
+	for _, j := range healthyI {
+		if ok(lay.C[j]) {
+			bCands = append(bCands, j)
+		}
+	}
+	for _, j := range healthyO {
+		if ok(lay.C[j]) {
+			cCands = append(cCands, j)
+		}
+	}
+
+	// Healthy R positions, split into blocks wherever the gap between
+	// consecutive healthy positions exceeds the largest offset p+1. With
+	// ≤ k faults and 2(p+1) > k there is at most one splitting gap, hence
+	// at most two blocks — but the DP below handles any number ≤ itemCap.
+	var blocks []ringBlock
+	var cur []int
+	flush := func() {
+		if len(cur) > 0 {
+			blocks = append(blocks, newRingBlock(cur))
+			cur = nil
+		}
+	}
+	prev := -1
+	for j := k + 2; j < m; j++ {
+		if !ok(lay.C[j]) {
+			continue
+		}
+		if prev >= 0 && j-prev > p+1 {
+			flush()
+		}
+		cur = append(cur, j)
+		prev = j
+	}
+	flush()
+
+	// Healthy S labels.
+	var healthyS []int
+	for j := 0; j <= k+1; j++ {
+		if ok(lay.C[j]) {
+			healthyS = append(healthyS, j)
+		}
+	}
+
+	for _, b := range bCands {
+		for _, c := range cCands {
+			if b == c {
+				continue
+			}
+			positions := s.solveRing(lay, healthyS, blocks, b, c)
+			if positions == nil {
+				continue
+			}
+			if out := s.assemblePlan(lay, faults, b, c, positions); out != nil {
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// ringBlock is a maximal internally-jumpable interval of healthy R
+// positions.
+type ringBlock struct {
+	positions  []int // ascending
+	contiguous bool  // no internal faults: zigzag traversals allowed
+}
+
+func newRingBlock(pos []int) ringBlock {
+	contig := pos[len(pos)-1]-pos[0] == len(pos)-1
+	return ringBlock{positions: pos, contiguous: contig}
+}
+
+// traversal is one way through an item: the ring positions visited, with
+// enter/exit as first/last. For blocks, seq holds the concrete position
+// order; for S labels it is the single label.
+type traversal struct {
+	enter, exit int
+	seq         []int
+}
+
+const plannerItemCap = 16
+
+// solveRing finds an order of ring positions that starts at S[b], covers
+// every healthy S label except c and every block, and ends at a position
+// with a surviving edge to S[c]. Items (S labels and blocks) are sequenced
+// by an exact DP over (visited-mask, last item, last traversal variant).
+func (s *Solver) solveRing(lay *construct.Layout, healthyS []int, blocks []ringBlock, b, c int) []int {
+	type item struct {
+		sLabel int // -1 for blocks
+		block  int // -1 for S labels
+	}
+	var items []item
+	bIdx := -1
+	for _, j := range healthyS {
+		if j == c {
+			continue
+		}
+		if j == b {
+			bIdx = len(items)
+		}
+		items = append(items, item{sLabel: j, block: -1})
+	}
+	if bIdx == -1 {
+		return nil
+	}
+	for bi := range blocks {
+		items = append(items, item{sLabel: -1, block: bi})
+	}
+	n := len(items)
+	if n > plannerItemCap {
+		return nil
+	}
+
+	edge := func(x, y int) bool { return s.g.HasEdge(lay.C[x], lay.C[y]) }
+
+	// Traversal variants per item.
+	variants := make([][]traversal, n)
+	for i, it := range items {
+		if it.block == -1 {
+			variants[i] = []traversal{{enter: it.sLabel, exit: it.sLabel, seq: []int{it.sLabel}}}
+			continue
+		}
+		variants[i] = blockTraversals(blocks[it.block], edge)
+	}
+
+	// DP over (mask, item, variant).
+	size := 1 << uint(n)
+	dp := make([][]uint8, size) // dp[mask][item] = bitmask over variants
+	reach := func(mask, it, v int) bool { return dp[mask] != nil && dp[mask][it]&(1<<uint(v)) != 0 }
+	set := func(mask, it, v int) {
+		if dp[mask] == nil {
+			dp[mask] = make([]uint8, n)
+		}
+		dp[mask][it] |= 1 << uint(v)
+	}
+	set(1<<uint(bIdx), bIdx, 0)
+	full := size - 1
+	for mask := 1; mask < size; mask++ {
+		if dp[mask] == nil {
+			continue
+		}
+		for it := 0; it < n; it++ {
+			vb := dp[mask][it]
+			if vb == 0 {
+				continue
+			}
+			for v := 0; v < len(variants[it]); v++ {
+				if vb&(1<<uint(v)) == 0 {
+					continue
+				}
+				exit := variants[it][v].exit
+				for nt := 0; nt < n; nt++ {
+					if mask&(1<<uint(nt)) != 0 {
+						continue
+					}
+					for nv := 0; nv < len(variants[nt]); nv++ {
+						if edge(exit, variants[nt][nv].enter) {
+							set(mask|1<<uint(nt), nt, nv)
+						}
+					}
+				}
+			}
+		}
+	}
+	if dp[full] == nil {
+		return nil
+	}
+	// Find a final state whose exit connects to S[c].
+	endItem, endVar := -1, -1
+	for it := 0; it < n && endItem == -1; it++ {
+		for v := 0; v < len(variants[it]); v++ {
+			if reach(full, it, v) && edge(variants[it][v].exit, c) {
+				endItem, endVar = it, v
+				break
+			}
+		}
+	}
+	if endItem == -1 {
+		return nil
+	}
+	// Reconstruct the item order backwards.
+	type step struct{ item, variant int }
+	order := []step{{endItem, endVar}}
+	mask := full
+	for mask != 1<<uint(bIdx) {
+		cu := order[len(order)-1]
+		prevMask := mask &^ (1 << uint(cu.item))
+		found := false
+		for it := 0; it < n && !found; it++ {
+			if prevMask&(1<<uint(it)) == 0 {
+				continue
+			}
+			for v := 0; v < len(variants[it]); v++ {
+				if reach(prevMask, it, v) && edge(variants[it][v].exit, variants[cu.item][cu.variant].enter) {
+					order = append(order, step{it, v})
+					mask = prevMask
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return nil // should not happen
+		}
+	}
+	// Expand to positions in forward order.
+	var out []int
+	for i := len(order) - 1; i >= 0; i-- {
+		st := order[i]
+		out = append(out, variants[st.item][st.variant].seq...)
+	}
+	return out
+}
+
+// blockTraversals enumerates the ways through a block: straight in either
+// direction, plus — when possible — zigzags that enter and exit at the
+// same end (required when the block's other end is a dead end against a
+// long fault run). Contiguous blocks get the analytic zigzag; blocks with
+// internal jumpable gaps get one found by a budget-bounded DFS over the
+// block's own positions.
+func blockTraversals(blk ringBlock, edge func(x, y int) bool) []traversal {
+	pos := blk.positions
+	n := len(pos)
+	if n == 1 {
+		return []traversal{{enter: pos[0], exit: pos[0], seq: pos}}
+	}
+	rev := make([]int, n)
+	for i, p := range pos {
+		rev[n-1-i] = p
+	}
+	out := []traversal{
+		{enter: pos[0], exit: pos[n-1], seq: pos},
+		{enter: pos[n-1], exit: pos[0], seq: rev},
+	}
+	addZig := func(seq []int) {
+		if seq == nil {
+			return
+		}
+		// The constructive zigzags assume their crossing offsets exist
+		// (true for internal gaps ≤ p−1); re-check every hop against the
+		// real edges so a boundary shape degrades to "variant unavailable"
+		// rather than an invalid plan.
+		for i := 1; i < len(seq); i++ {
+			if !edge(seq[i-1], seq[i]) {
+				return
+			}
+		}
+		out = append(out, traversal{enter: seq[0], exit: seq[len(seq)-1], seq: seq})
+		rv := make([]int, len(seq))
+		for i, p := range seq {
+			rv[len(seq)-1-i] = p
+		}
+		// The reverse is a valid traversal of the same positions iff every
+		// hop is an undirected edge — which it is.
+		out = append(out, traversal{enter: rv[0], exit: rv[len(rv)-1], seq: rv})
+	}
+	if blk.contiguous {
+		lo, hi := pos[0], pos[n-1]
+		addZig(analyticZigzag(lo, hi, true))
+		addZig(analyticZigzag(lo, hi, false))
+	} else {
+		// Constructive gap-aware zigzags first; a budget-bounded DFS mops
+		// up shapes the construction declines.
+		if seq := gapZigzagHigh(pos); seq != nil {
+			addZig(seq)
+		} else if n <= 4096 {
+			addZig(dfsZigzag(pos, pos[n-1], pos[n-2], edge))
+		}
+		if seq := gapZigzagLow(pos); seq != nil {
+			addZig(seq)
+		} else if n <= 4096 {
+			addZig(dfsZigzag(pos, pos[0], pos[1], edge))
+		}
+	}
+	return out
+}
+
+// gapZigzagHigh covers a block that may contain internal fault gaps,
+// entering at its highest position and exiting at the second-highest — the
+// traversal a dead-end pocket needs when its only opening faces high. The
+// construction peels the block at its topmost gap: the contiguous top
+// segment N = [a..b] is covered in two passes (a parity descent b, b−2, …
+// ending at a+1, and a complementary ascent ending at b−1), with the far
+// part F covered recursively between the passes via two disjoint crossing
+// edges a+1→top(F) and top(F)−1→a of offset gap+2. It requires every
+// internal gap ≤ p−1 (offsets up to p+1 must span gap+2) — with ≤ k faults
+// that is automatic except in the odd-k corner where a splitting run and a
+// length-p run coexist — and returns nil for shapes it cannot realize.
+func gapZigzagHigh(pos []int) []int {
+	n := len(pos)
+	if n < 2 || pos[n-2] != pos[n-1]-1 {
+		return nil
+	}
+	// Topmost gap.
+	gi := -1
+	for i := n - 2; i >= 0; i-- {
+		if pos[i+1]-pos[i] > 1 {
+			gi = i
+			break
+		}
+	}
+	b := pos[n-1]
+	if gi == -1 {
+		return analyticZigzag(pos[0], b, false)
+	}
+	a := pos[gi+1] // bottom of the contiguous top segment N = [a..b]
+	fTop := pos[gi]
+	// Descent: b, b−2, …, ending exactly at a+1.
+	var seq []int
+	switch (b - a) % 2 {
+	case 1: // parity reaches a+1 directly
+		for x := b; x >= a+1; x -= 2 {
+			seq = append(seq, x)
+		}
+	default: // lands on a+2; a unit step reaches a+1 (needs room for the ascent 3-jump)
+		if b < a+4 {
+			return nil
+		}
+		for x := b; x >= a+2; x -= 2 {
+			seq = append(seq, x)
+		}
+		seq = append(seq, a+1)
+	}
+	// Far part F, covered recursively between the crossings.
+	far := pos[:gi+1]
+	var fSeq []int
+	if len(far) == 1 {
+		fSeq = []int{fTop}
+	} else {
+		fSeq = gapZigzagHigh(far)
+		if fSeq == nil {
+			return nil
+		}
+	}
+	seq = append(seq, fSeq...)
+	seq = append(seq, a)
+	// Ascent covering the complement parity, ending at b−1.
+	switch (b - a) % 2 {
+	case 1:
+		for x := a + 2; x <= b-1; x += 2 {
+			seq = append(seq, x)
+		}
+	default:
+		for x := a + 3; x <= b-1; x += 2 {
+			seq = append(seq, x)
+		}
+	}
+	return seq
+}
+
+// gapZigzagLow is the mirror of gapZigzagHigh: enter the lowest position,
+// exit the second-lowest. Implemented by reflecting the positions.
+func gapZigzagLow(pos []int) []int {
+	n := len(pos)
+	if n < 2 {
+		return nil
+	}
+	pivot := pos[0] + pos[n-1]
+	mirror := make([]int, n)
+	for i, x := range pos {
+		mirror[n-1-i] = pivot - x
+	}
+	seq := gapZigzagHigh(mirror)
+	if seq == nil {
+		return nil
+	}
+	for i, x := range seq {
+		seq[i] = pivot - x
+	}
+	return seq
+}
+
+// analyticZigzag covers the contiguous interval [lo..hi] entering and
+// exiting at the low end (lo → lo+1) or, when fromLow is false, at the
+// high end (hi → hi-1): same-parity ascent, one unit step, other-parity
+// descent. Uses only offsets 1 and 2.
+func analyticZigzag(lo, hi int, fromLow bool) []int {
+	var out []int
+	if fromLow {
+		for x := lo; x <= hi; x += 2 {
+			out = append(out, x)
+		}
+		start := hi
+		if (hi-lo)%2 == 0 {
+			start = hi - 1
+		}
+		for x := start; x >= lo+1; x -= 2 {
+			out = append(out, x)
+		}
+	} else {
+		for x := hi; x >= lo; x -= 2 {
+			out = append(out, x)
+		}
+		start := lo
+		if (hi-lo)%2 == 0 {
+			start = lo + 1
+		}
+		for x := start; x <= hi-1; x += 2 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// dfsZigzag finds a Hamiltonian path over the block positions from start
+// to end using the real ring edges, with a budget proportional to the
+// block size. Returns nil when none is found within budget.
+func dfsZigzag(pos []int, start, end int, edge func(x, y int) bool) []int {
+	n := len(pos)
+	idx := make(map[int]int, n)
+	for i, p := range pos {
+		idx[p] = i
+	}
+	si, ok1 := idx[start]
+	ei, ok2 := idx[end]
+	if !ok1 || !ok2 || si == ei {
+		return nil
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		// Ring offsets are bounded, so only nearby positions can be
+		// adjacent; scanning a small window keeps this O(n).
+		for j := i + 1; j < n && j <= i+12; j++ {
+			if edge(pos[i], pos[j]) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	// Prefer parity-preserving ±2 steps, then longer parity-preserving
+	// jumps: they are the zigzag's natural stride, so the greedy-first DFS
+	// rarely backtracks.
+	for i := range adj {
+		a := adj[i]
+		for x := 1; x < len(a); x++ {
+			v := a[x]
+			pri := stridePriority(pos[i], pos[v])
+			y := x - 1
+			for y >= 0 && stridePriority(pos[i], pos[a[y]]) > pri {
+				a[y+1] = a[y]
+				y--
+			}
+			a[y+1] = v
+		}
+	}
+	visited := make([]bool, n)
+	path := make([]int, 0, n)
+	budget := 256 * n
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		visited[u] = true
+		path = append(path, pos[u])
+		if len(path) == n {
+			if u == ei {
+				return true
+			}
+		} else {
+			for _, v := range adj[u] {
+				if visited[v] || (v == ei && len(path) != n-1) {
+					continue
+				}
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		visited[u] = false
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(si) {
+		return append([]int(nil), path...)
+	}
+	return nil
+}
+
+// stridePriority ranks candidate hops for dfsZigzag: parity-preserving
+// hops first (shortest first), then parity-flipping ones.
+func stridePriority(from, to int) int {
+	d := from - to
+	if d < 0 {
+		d = -d
+	}
+	if d%2 == 0 {
+		return d
+	}
+	return 100 + d
+}
+
+// assemblePlan stitches the full pipeline together and validates it
+// against the real graph; nil on any inconsistency (caller falls back).
+// ringOrder lists the C positions in visit order, starting at S[b] and
+// ending at a position adjacent to S[c] (c itself excluded).
+func (s *Solver) assemblePlan(lay *construct.Layout, faults bitset.Set, b, c int, ringOrder []int) graph.Path {
+	ok := func(v int) bool { return v >= 0 && (faults == nil || !faults.Contains(v)) }
+	k := lay.K
+	// Choose a (input pair) and the I-cover order ending at b.
+	var healthyI []int
+	for j := 1; j <= k+1; j++ {
+		if ok(lay.I[j]) {
+			healthyI = append(healthyI, j)
+		}
+	}
+	a := -1
+	for j := 1; j <= k+1; j++ {
+		if ok(lay.Ti[j]) && ok(lay.I[j]) && (j != b || len(healthyI) == 1) {
+			a = j
+			break
+		}
+	}
+	if a == -1 {
+		return nil
+	}
+	var iOrder []int
+	iOrder = append(iOrder, a)
+	for _, j := range healthyI {
+		if j != a && j != b {
+			iOrder = append(iOrder, j)
+		}
+	}
+	if b != a {
+		iOrder = append(iOrder, b)
+	}
+	// Choose d (output pair) and O-cover order starting at c.
+	var healthyO []int
+	for j := 0; j <= k; j++ {
+		if ok(lay.O[j]) {
+			healthyO = append(healthyO, j)
+		}
+	}
+	d := -1
+	for j := 0; j <= k; j++ {
+		if ok(lay.To[j]) && ok(lay.O[j]) && (j != c || len(healthyO) == 1) {
+			d = j
+			break
+		}
+	}
+	if d == -1 {
+		return nil
+	}
+	var oOrder []int
+	oOrder = append(oOrder, c)
+	for _, j := range healthyO {
+		if j != c && j != d {
+			oOrder = append(oOrder, j)
+		}
+	}
+	if d != c {
+		oOrder = append(oOrder, d)
+	}
+
+	out := make(graph.Path, 0, len(iOrder)+len(ringOrder)+len(oOrder)+3)
+	out = append(out, lay.Ti[a])
+	for _, j := range iOrder {
+		out = append(out, lay.I[j])
+	}
+	for _, pos := range ringOrder {
+		out = append(out, lay.C[pos])
+	}
+	out = append(out, lay.C[c])
+	for _, j := range oOrder {
+		out = append(out, lay.O[j])
+	}
+	out = append(out, lay.To[d])
+
+	if !s.validatePlanned(out, faults) {
+		return nil
+	}
+	return out
+}
+
+// validatePlanned is a local full check (edges, distinctness, fault
+// avoidance, complete healthy-processor coverage, terminal endpoints) so a
+// planner bug degrades to a fallback rather than an invalid result.
+func (s *Solver) validatePlanned(path graph.Path, faults bitset.Set) bool {
+	if len(path) < 3 || !path.Distinct() || !path.IsWalk(s.g) {
+		return false
+	}
+	for _, v := range path {
+		if faults != nil && faults.Contains(v) {
+			return false
+		}
+	}
+	if s.g.Kind(path[0]) != graph.InputTerminal || s.g.Kind(path[len(path)-1]) != graph.OutputTerminal {
+		return false
+	}
+	healthy := 0
+	for _, pr := range s.procs {
+		if faults == nil || !faults.Contains(pr) {
+			healthy++
+		}
+	}
+	interior := 0
+	for _, v := range path[1 : len(path)-1] {
+		if s.g.Kind(v) != graph.Processor {
+			return false
+		}
+		interior++
+	}
+	return interior == healthy
+}

@@ -1,0 +1,225 @@
+package embed
+
+import (
+	"gdpn/internal/bitset"
+	"gdpn/internal/graph"
+)
+
+// findStructured exploits the §3.4 layout: far away from faults, the
+// circulant ring C can only be covered by sweeping it, so every maximal
+// healthy run of ring positions that is farther than p+1 from any fault and
+// from the S/R boundaries is compressed into a three-node corridor
+// L — M — R. M has no other neighbors, which forces any Hamiltonian path of
+// the compressed graph to traverse the corridor from one real end of the
+// run to the other; expanding the corridor back into the unit-step sweep of
+// the run therefore always yields a real pipeline. The compressed problem
+// has O(k²) nodes independent of n and is solved with the (complete)
+// backtracking engine.
+//
+// The compression is sound but not complete: solutions that enter a run's
+// interior directly (e.g. via a bisector edge landing mid-run) or cover a
+// run in two passes are not representable. In that case the result is
+// Unknown and the dispatcher falls back to the complete engine on the full
+// graph.
+func (s *Solver) findStructured(faults bitset.Set, e endpoints) Result {
+	if s.opts.Layout == nil {
+		return Result{Unknown: true, Method: Structured}
+	}
+	// Constructive planner first: it solves the canonical route in O(n)
+	// for the overwhelming majority of fault sets without any search.
+	if planned := s.planAsymptotic(faults); planned != nil {
+		s.stats.Planner++
+		return Result{Pipeline: planned, Found: true, Method: Structured}
+	}
+	return s.findCompressed(faults, e)
+}
+
+// findCompressed is the run-compression search tier; see the package
+// comment of findStructured for the corridor construction.
+func (s *Solver) findCompressed(faults bitset.Set, e endpoints) Result {
+	lay := s.opts.Layout
+	m, k, p := lay.M, lay.K, lay.P
+
+	isFaulty := func(v int) bool { return v >= 0 && faults != nil && faults.Contains(v) }
+
+	// Ring positions of faulty C nodes.
+	var faultPos []int
+	for j := 0; j < m; j++ {
+		if isFaulty(lay.C[j]) {
+			faultPos = append(faultPos, j)
+		}
+	}
+
+	// kept[j]: position j must stay atomic — S nodes, positions near the
+	// S/R boundary, and positions near a fault.
+	reach := p + 1
+	kept := make([]bool, m)
+	for j := 0; j < m; j++ {
+		if isFaulty(lay.C[j]) {
+			continue
+		}
+		if j <= k+1 || j-(k+2) <= reach || (m-1)-j <= reach {
+			kept[j] = true
+			continue
+		}
+		for _, f := range faultPos {
+			d := j - f
+			if d < 0 {
+				d = -d
+			}
+			if d > m-d {
+				d = m - d
+			}
+			if d <= reach {
+				kept[j] = true
+				break
+			}
+		}
+	}
+
+	// Maximal runs of healthy, non-kept R positions.
+	type run struct{ lo, hi int }
+	var runs []run
+	for j := k + 2; j < m; j++ {
+		if kept[j] || isFaulty(lay.C[j]) {
+			continue
+		}
+		lo := j
+		for j+1 < m && !kept[j+1] && !isFaulty(lay.C[j+1]) {
+			j++
+		}
+		runs = append(runs, run{lo, j})
+	}
+
+	// Build the compressed graph. comp ids map back to real nodes or runs.
+	const (
+		realNode = iota
+		segL
+		segM
+		segR
+	)
+	type backRef struct {
+		kind int
+		real int // real node id (realNode)
+		run  int // run index (segL/segM/segR)
+	}
+	cg := graph.New("compressed")
+	var back []backRef
+	addReal := func(v int, kind graph.Kind, label int) int {
+		id := cg.AddNode(kind, label)
+		back = append(back, backRef{kind: realNode, real: v})
+		return id
+	}
+
+	comp := make(map[int]int) // real node id -> compressed id
+	// Atomic ring positions.
+	posComp := make([]int, m)
+	for j := range posComp {
+		posComp[j] = -1
+	}
+	for j := 0; j < m; j++ {
+		if kept[j] {
+			id := addReal(lay.C[j], graph.Processor, j)
+			comp[lay.C[j]] = id
+			posComp[j] = id
+		}
+	}
+	// I, O, and their terminals.
+	for j := 1; j <= k+1; j++ {
+		if !isFaulty(lay.I[j]) {
+			comp[lay.I[j]] = addReal(lay.I[j], graph.Processor, j)
+			if !isFaulty(lay.Ti[j]) {
+				comp[lay.Ti[j]] = addReal(lay.Ti[j], graph.InputTerminal, j)
+			}
+		}
+	}
+	for j := 0; j <= k; j++ {
+		if !isFaulty(lay.O[j]) {
+			comp[lay.O[j]] = addReal(lay.O[j], graph.Processor, j)
+			if !isFaulty(lay.To[j]) {
+				comp[lay.To[j]] = addReal(lay.To[j], graph.OutputTerminal, j)
+			}
+		}
+	}
+	// Real-to-real edges.
+	for v, cv := range comp {
+		for _, u := range s.g.Neighbors(v) {
+			cu, ok := comp[int(u)]
+			if ok && cv < cu {
+				cg.AddEdge(cv, cu)
+			}
+		}
+	}
+	// Segment corridors.
+	segIDs := make([][3]int, len(runs))
+	for ri, r := range runs {
+		l := cg.AddNode(graph.Processor, graph.NoLabel)
+		back = append(back, backRef{kind: segL, run: ri})
+		mid := cg.AddNode(graph.Processor, graph.NoLabel)
+		back = append(back, backRef{kind: segM, run: ri})
+		rr := cg.AddNode(graph.Processor, graph.NoLabel)
+		back = append(back, backRef{kind: segR, run: ri})
+		cg.AddEdge(l, mid)
+		cg.AddEdge(mid, rr)
+		segIDs[ri] = [3]int{l, mid, rr}
+		// External edges: kept nodes really adjacent to the run's ends.
+		for _, end := range [2]struct {
+			pos, seg int
+		}{{r.lo, l}, {r.hi, rr}} {
+			for _, u := range s.g.Neighbors(lay.C[end.pos]) {
+				if cu, ok := comp[int(u)]; ok {
+					if !cg.HasEdge(end.seg, cu) {
+						cg.AddEdge(end.seg, cu)
+					}
+				}
+			}
+		}
+	}
+
+	if cg.NumNodes() > 4000 {
+		return Result{Unknown: true, Method: Structured} // decline: compression ineffective
+	}
+
+	// The inner search is budget-capped: compression blind spots must not
+	// consume the caller's whole budget before the complete engines run.
+	innerBudget := int64(2_000_000)
+	if s.opts.Budget < innerBudget {
+		innerBudget = s.opts.Budget
+	}
+	sub := NewSolver(cg, Options{Method: Backtracking, Budget: innerBudget})
+	r := sub.Find(nil)
+	if !r.Found {
+		// Either genuinely infeasible or a compression blind spot; report
+		// Unknown so the dispatcher escalates to the complete engine.
+		return Result{Unknown: true, Method: Structured, Expansions: r.Expansions}
+	}
+
+	// Expand: map compressed path back to real nodes, unrolling corridors.
+	out := make(graph.Path, 0, len(e.healthyProcs)+2)
+	cp := r.Pipeline
+	for idx := 0; idx < len(cp); idx++ {
+		ref := back[cp[idx]]
+		switch ref.kind {
+		case realNode:
+			out = append(out, ref.real)
+		case segL:
+			// L must be followed by M, R (forced); sweep lo -> hi.
+			rn := runs[ref.run]
+			for pos := rn.lo; pos <= rn.hi; pos++ {
+				out = append(out, lay.C[pos])
+			}
+			idx += 2
+		case segR:
+			rn := runs[ref.run]
+			for pos := rn.hi; pos >= rn.lo; pos-- {
+				out = append(out, lay.C[pos])
+			}
+			idx += 2
+		case segM:
+			// A path can never start inside a corridor.
+			return Result{Unknown: true, Method: Structured}
+		}
+	}
+	s.stats.Compressed++
+	return Result{Pipeline: out, Found: true, Method: Structured, Expansions: r.Expansions}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment id from DESIGN.md's per-experiment index must be
+	// registered.
+	want := []string{
+		"F1", "F2", "F3", "F4", "F5-F9", "F10", "F11", "F12", "F13", "F14", "F15",
+		"T313", "T315", "T316", "T317", "T317b",
+		"L31", "L35", "L36", "L37", "L39", "M",
+		"S1", "S2", "P1", "P2", "P3", "P4", "E1", "E2",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d entries, DESIGN.md lists %d", len(All()), len(want))
+	}
+}
+
+func TestByIDCaseInsensitive(t *testing.T) {
+	if _, ok := ByID("f1"); !ok {
+		t.Fatal("lowercase id not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunOne("bogus", quickCfg(), &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Claim: "c", Cols: []string{"a", "bb"}, OK: true}
+	tbl.AddRow("1", "2")
+	tbl.Note("hello %d", 7)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo [OK", "paper: c", "a  bb", "1  2", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	tbl.OK = false
+	buf.Reset()
+	tbl.Render(&buf)
+	if !strings.Contains(buf.String(), "MISMATCH") {
+		t.Error("mismatch status not rendered")
+	}
+}
+
+// Each experiment must run green in quick mode. These are the same
+// regenerators the benches and cmd/gdpbench use.
+func TestQuickExperimentsPass(t *testing.T) {
+	// The heavyweight ones get their own test functions below so failures
+	// localize; this covers the fast figure/lemma set.
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5-F9", "F10", "F11", "F12", "F13", "L31", "L35", "L37", "M"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			ok, err := RunOne(id, quickCfg(), &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("experiment %s mismatched its claim:\n%s", id, buf.String())
+			}
+		})
+	}
+}
+
+func TestQuickAsymptoticFigures(t *testing.T) {
+	for _, id := range []string{"F14", "F15", "T317b"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			ok, err := RunOne(id, quickCfg(), &buf)
+			if err != nil || !ok {
+				t.Fatalf("%s: ok=%v err=%v\n%s", id, ok, err, buf.String())
+			}
+		})
+	}
+}
+
+func TestQuickTheoremFamilies(t *testing.T) {
+	for _, id := range []string{"T313", "T315", "T316", "L36", "L39"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			ok, err := RunOne(id, quickCfg(), &buf)
+			if err != nil || !ok {
+				t.Fatalf("%s: ok=%v err=%v\n%s", id, ok, err, buf.String())
+			}
+		})
+	}
+}
+
+func TestQuickSystems(t *testing.T) {
+	for _, id := range []string{"S1", "S2", "P2", "P3", "P4", "E1", "E2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			ok, err := RunOne(id, quickCfg(), &buf)
+			if err != nil || !ok {
+				t.Fatalf("%s: ok=%v err=%v\n%s", id, ok, err, buf.String())
+			}
+		})
+	}
+}
+
+func TestQuickT317(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T317 grid skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	ok, err := RunOne("T317", quickCfg(), &buf)
+	if err != nil || !ok {
+		t.Fatalf("T317: ok=%v err=%v\n%s", ok, err, buf.String())
+	}
+}
+
+func TestQuickP1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("P1 ablation skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	ok, err := RunOne("P1", quickCfg(), &buf)
+	if err != nil || !ok {
+		t.Fatalf("P1: ok=%v err=%v\n%s", ok, err, buf.String())
+	}
+}

@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/faults"
+	"gdpn/internal/search"
+	"gdpn/internal/verify"
+)
+
+func init() {
+	register("T313", "Theorem 3.13: k=1 family, all n", func(cfg Config) *Table { return runTheoremFamily(cfg, "T313", 1) })
+	register("T315", "Theorem 3.15: k=2 family, all n", func(cfg Config) *Table { return runTheoremFamily(cfg, "T315", 2) })
+	register("T316", "Theorem 3.16: k=3 family, all n", func(cfg Config) *Table { return runTheoremFamily(cfg, "T316", 3) })
+	register("T317", "Theorem 3.17: asymptotic construction is k-GD", runT317)
+	register("T317b", "Asymptotic feasibility frontier (smallest verified n per k)", runT317Frontier)
+	register("L31", "Lemmas 3.1/3.4: necessary degree conditions", runL31)
+	register("L35", "Lemma 3.5: parity lower bound k+3 for even n, odd k", runL35)
+	register("L36", "Lemma 3.6: extension preserves k-GD and degree", runL36)
+	register("L37", "Lemma 3.7: G1,k unique standard solution", func(cfg Config) *Table { return runUniqueness(cfg, "L37", 1) })
+	register("L39", "Lemma 3.9: G2,k unique standard solution", func(cfg Config) *Table { return runUniqueness(cfg, "L39", 2) })
+	register("M", "§3 merged model: fault-free terminals of degree k+1", runMerged)
+}
+
+// runTheoremFamily verifies the per-n degree claims of Theorems
+// 3.13/3.15/3.16 and exhaustively verifies graceful degradability for each
+// n in the band.
+func runTheoremFamily(cfg Config, id string, k int) *Table {
+	t := &Table{
+		ID:    id,
+		Claim: fmt.Sprintf("for k=%d every n ≥ 1 has a degree-optimal standard solution", k),
+		Cols:  []string{"n", "method", "degree", "bound", "optimal", "exhaustive GD"},
+	}
+	t.OK = true
+	maxN := 16
+	verifyN := 12
+	if cfg.Quick {
+		maxN, verifyN = 10, 8
+	}
+	for n := 1; n <= maxN; n++ {
+		sol, err := construct.Design(n, k)
+		if err != nil {
+			t.Note("n=%d: %v", n, err)
+			t.OK = false
+			continue
+		}
+		bound := construct.DegreeLowerBound(n, k)
+		gd := "-"
+		ok := sol.DegreeOptimal && verify.CheckStandard(sol.Graph, n, k) == nil
+		if n <= verifyN {
+			rep := verify.Exhaustive(sol.Graph, k, verify.Options{Workers: cfg.Workers})
+			gd = boolCell(rep.OK())
+			ok = ok && rep.OK()
+		}
+		t.AddRow(fmt.Sprint(n), sol.Method, fmt.Sprint(sol.MaxDegree), fmt.Sprint(bound),
+			boolCell(sol.DegreeOptimal), gd)
+		t.OK = t.OK && ok
+	}
+	t.Note("GD column '-': beyond the exhaustive band for this run (structure checks still enforced)")
+	return t
+}
+
+// runT317 verifies the asymptotic construction across a (n, k) grid:
+// exhaustively where feasible, by random + clustered sampling at scale.
+func runT317(cfg Config) *Table {
+	t := &Table{
+		Claim: "G(n,k) of §3.4 is k-gracefully-degradable for k ≥ 4 and sufficiently large n",
+		Cols:  []string{"n", "k", "mode", "fault sets", "GD"},
+	}
+	t.OK = true
+	type inst struct {
+		n, k       int
+		exhaustive bool
+	}
+	grid := []inst{
+		{14, 4, true}, {22, 4, true},
+		{15, 5, false}, {26, 5, false},
+		{60, 4, false}, {61, 5, false}, {80, 6, false}, {81, 7, false}, {200, 8, false},
+	}
+	if cfg.Quick {
+		grid = []inst{{14, 4, true}, {22, 4, false}, {26, 5, false}, {80, 6, false}}
+	}
+	for _, in := range grid {
+		g, lay, err := construct.Asymptotic(in.n, in.k)
+		if err != nil {
+			t.Note("n=%d k=%d: %v", in.n, in.k, err)
+			t.OK = false
+			continue
+		}
+		opts := verify.Options{Workers: cfg.Workers, Solver: embed.Options{Layout: lay}}
+		var rep *verify.Report
+		mode := "random"
+		if in.exhaustive && !cfg.Quick {
+			rep = verify.Exhaustive(g, in.k, opts)
+			mode = "exhaustive"
+		} else {
+			trials := 4000
+			if cfg.Quick {
+				trials = 1000
+			}
+			rep = verify.Random(g, in.k, trials, cfg.Seed, opts)
+		}
+		t.AddRow(fmt.Sprint(in.n), fmt.Sprint(in.k), mode, fmt.Sprint(rep.Checked), boolCell(rep.OK()))
+		if !rep.OK() && len(rep.Failures) > 0 {
+			t.Note("n=%d k=%d counterexample: %v", in.n, in.k, rep.Failures[0].Nodes)
+		}
+		t.OK = t.OK && rep.OK()
+	}
+	// Adversarially clustered ring faults: every run of exactly k
+	// consecutive ring positions (the pattern that maximizes the fault-run
+	// length the offsets must cross; runs > p force zigzag coverage).
+	for _, in := range []struct{ n, k int }{{60, 4}, {61, 5}, {80, 6}} {
+		g, lay, err := construct.Asymptotic(in.n, in.k)
+		if err != nil {
+			t.OK = false
+			continue
+		}
+		solver := embed.NewSolver(g, embed.Options{Layout: lay})
+		fs := make([]int, 0, in.k)
+		ok := true
+		for start := 0; start < lay.M; start++ {
+			fs = fs[:0]
+			for i := 0; i < in.k; i++ {
+				fs = append(fs, lay.C[(start+i)%lay.M])
+			}
+			faults := bitsetFrom(g.NumNodes(), fs)
+			r := solver.Find(faults)
+			if !r.Found || verify.CheckPipeline(g, faults, r.Pipeline) != nil {
+				ok = false
+				t.Note("clustered failure n=%d k=%d at ring start %d", in.n, in.k, start)
+				break
+			}
+		}
+		t.AddRow(fmt.Sprint(in.n), fmt.Sprint(in.k), "clustered(all runs)", fmt.Sprint(lay.M), boolCell(ok))
+		t.OK = t.OK && ok
+	}
+	// Greedy adversarial fault sets: each fault is chosen to maximize the
+	// solver's work (faults.Adversarial), probing for pathological cases
+	// random sampling would miss.
+	advTrials := 60
+	if cfg.Quick {
+		advTrials = 15
+	}
+	for _, in := range []struct{ n, k int }{{40, 4}, {61, 5}} {
+		g, lay, err := construct.Asymptotic(in.n, in.k)
+		if err != nil {
+			t.OK = false
+			continue
+		}
+		solver := embed.NewSolver(g, embed.Options{Layout: lay})
+		model := faults.Adversarial{Pool: 6, Solver: embed.Options{Layout: lay}}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		ok := true
+		for i := 0; i < advTrials; i++ {
+			fs := model.Sample(rng, g, in.k)
+			r := solver.Find(fs)
+			if !r.Found || verify.CheckPipeline(g, fs, r.Pipeline) != nil {
+				ok = false
+				t.Note("adversarial failure n=%d k=%d: %v", in.n, in.k, fs.Slice())
+				break
+			}
+		}
+		t.AddRow(fmt.Sprint(in.n), fmt.Sprint(in.k), "adversarial(greedy)", fmt.Sprint(advTrials), boolCell(ok))
+		t.OK = t.OK && ok
+	}
+	return t
+}
+
+func bitsetFrom(n int, nodes []int) bitset.Set {
+	s := bitset.New(n)
+	for _, v := range nodes {
+		s.Add(v)
+	}
+	return s
+}
+
+// runT317Frontier measures where the construction starts working: the
+// paper only claims "sufficiently large n" (linear in k); this experiment
+// reports the smallest constructible n per k and whether it verifies.
+func runT317Frontier(cfg Config) *Table {
+	t := &Table{
+		Claim: "n is only required to be linear in k (§3.4, unquantified)",
+		Cols:  []string{"k", "min constructible n", "verification", "GD at min n"},
+	}
+	t.OK = true
+	maxK := 6
+	if cfg.Quick {
+		maxK = 5
+	}
+	for k := 4; k <= maxK; k++ {
+		n := construct.MinAsymptoticN(k)
+		g, lay, err := construct.Asymptotic(n, k)
+		if err != nil {
+			t.Note("k=%d: %v", k, err)
+			t.OK = false
+			continue
+		}
+		opts := verify.Options{Workers: cfg.Workers, Solver: embed.Options{Layout: lay}}
+		var rep *verify.Report
+		mode := "exhaustive"
+		if cfg.Quick {
+			rep = verify.Random(g, k, 4000, cfg.Seed, opts)
+			mode = "random(4000)"
+		} else {
+			// Exhaustive even at k=6 (~3.3M fault sets): the frontier rows
+			// are the ones worth a machine PROOF rather than sampling.
+			rep = verify.Exhaustive(g, k, opts)
+		}
+		t.AddRow(fmt.Sprint(k), fmt.Sprint(n), mode, boolCell(rep.OK()))
+		t.OK = t.OK && rep.OK()
+	}
+	t.Note("min constructible n = max(2k+5, k+2⌊k/2⌋+6): ring must fit offsets and a nonempty R")
+	return t
+}
+
+// runL31 checks the Lemma 3.1/3.4 necessary conditions on every designed
+// graph in a band — they must hold since the constructions are solutions.
+func runL31(cfg Config) *Table {
+	t := &Table{
+		Claim: "every processor in a k-GD graph has degree ≥ k+2 and (n>1) ≥ k+1 processor neighbors",
+		Cols:  []string{"graph", "min degree", "k+2", "conditions hold"},
+	}
+	t.OK = true
+	for _, c := range []struct{ n, k int }{{5, 1}, {8, 2}, {9, 3}, {22, 4}, {26, 5}} {
+		sol, err := construct.Design(c.n, c.k)
+		if err != nil {
+			t.OK = false
+			continue
+		}
+		err = verify.CheckNecessaryConditions(sol.Graph, c.n, c.k)
+		t.AddRow(sol.Graph.Name(), fmt.Sprint(sol.Graph.MinProcessorDegree()),
+			fmt.Sprint(c.k+2), boolCell(err == nil))
+		t.OK = t.OK && err == nil
+	}
+	return t
+}
+
+// runL35 confirms the parity bound: for even n and odd k our solutions sit
+// exactly at k+3, and the bound is tight (odd-n siblings reach k+2).
+func runL35(cfg Config) *Table {
+	t := &Table{
+		Claim: "even n, odd k ⇒ max processor degree ≥ k+3 in any standard solution (parity counting)",
+		Cols:  []string{"n", "k", "degree", "bound k+3", "at bound"},
+	}
+	t.OK = true
+	for _, c := range []struct{ n, k int }{{4, 1}, {6, 1}, {4, 3}, {6, 3}, {8, 3}, {26, 5}} {
+		sol, err := construct.Design(c.n, c.k)
+		if err != nil {
+			t.OK = false
+			continue
+		}
+		at := sol.MaxDegree == c.k+3
+		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.k), fmt.Sprint(sol.MaxDegree), fmt.Sprint(c.k+3), boolCell(at))
+		t.OK = t.OK && at
+	}
+	t.Note("tightness: odd-n designs at the same k reach k+2 (see T313/T316 tables)")
+	return t
+}
+
+// runL36 verifies that the extension preserves graceful degradability and
+// maximum degree across chains.
+func runL36(cfg Config) *Table {
+	t := &Table{
+		Claim: "if G is standard k-GD for n with max degree d, then G' is standard k-GD for n+k+1 with max degree d",
+		Cols:  []string{"base", "extensions", "degree before/after", "exhaustive GD"},
+	}
+	t.OK = true
+	type c struct {
+		base  string
+		g     func() *construct.Solution
+		k, ln int
+	}
+	bases := []struct {
+		name string
+		k    int
+		mk   func() (*construct.Solution, error)
+	}{
+		{"G1(2)", 2, func() (*construct.Solution, error) { return construct.Design(1, 2) }},
+		{"G2(2)", 2, func() (*construct.Solution, error) { return construct.Design(2, 2) }},
+		{"G3(3)", 3, func() (*construct.Solution, error) { return construct.Design(3, 3) }},
+	}
+	_ = c{}
+	for _, b := range bases {
+		sol, err := b.mk()
+		if err != nil {
+			t.OK = false
+			continue
+		}
+		g := sol.Graph
+		before := g.MaxDegree()
+		ext := construct.ExtendTimes(g, 2)
+		rep := verify.Exhaustive(ext, b.k, verify.Options{Workers: cfg.Workers})
+		ok := ext.MaxDegree() == before && rep.OK()
+		t.AddRow(b.name, "2", fmt.Sprintf("%d/%d", before, ext.MaxDegree()), boolCell(rep.OK()))
+		t.OK = t.OK && ok
+	}
+	return t
+}
+
+// runUniqueness re-proves Lemmas 3.7/3.9 by complete enumeration.
+func runUniqueness(cfg Config, id string, n int) *Table {
+	t := &Table{
+		ID:    id,
+		Claim: fmt.Sprintf("the paper's construction is the ONLY standard solution for n=%d", n),
+		Cols:  []string{"k", "candidates", "solutions (up to iso)", "unique"},
+	}
+	t.OK = true
+	maxK := 3
+	if n == 2 {
+		maxK = 2 // candidate space grows quickly with the larger degree budget
+	}
+	if cfg.Quick {
+		maxK = 2
+	}
+	for k := 1; k <= maxK; k++ {
+		delta := k + 2
+		if n == 2 {
+			delta = k + 3
+		}
+		res := search.Exhaustive(search.Spec{N: n, K: k, MaxDegree: delta}, 0)
+		unique := len(res.Solutions) == 1
+		t.AddRow(fmt.Sprint(k), fmt.Sprint(res.Candidates), fmt.Sprint(len(res.Solutions)), boolCell(unique))
+		t.OK = t.OK && unique
+	}
+	return t
+}
+
+// runMerged verifies the fault-free-terminal model of §3.
+func runMerged(cfg Config) *Table {
+	t := &Table{
+		Claim: "merging terminals yields single input/output nodes of degree k+1 (minimum possible) tolerating k processor faults",
+		Cols:  []string{"n", "k", "terminal degrees", "exhaustive GD (processor faults)"},
+	}
+	t.OK = true
+	cases := []struct{ n, k int }{{4, 1}, {6, 2}, {5, 3}}
+	if !cfg.Quick {
+		cases = append(cases, struct{ n, k int }{22, 4}) // merged asymptotic family
+	}
+	for _, c := range cases {
+		sol, err := construct.Design(c.n, c.k)
+		if err != nil {
+			t.OK = false
+			continue
+		}
+		m := construct.Merge(sol.Graph)
+		shapeErr := verify.CheckMerged(m, c.n, c.k)
+		rep := verify.Exhaustive(m, c.k, verify.Options{Workers: cfg.Workers, Universe: verify.ProcessorsOnly})
+		in, out := m.InputTerminals()[0], m.OutputTerminals()[0]
+		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.k),
+			fmt.Sprintf("%d/%d", m.Degree(in), m.Degree(out)), boolCell(rep.OK()))
+		t.OK = t.OK && shapeErr == nil && rep.OK()
+	}
+	return t
+}

@@ -1,0 +1,188 @@
+package faults_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/faults"
+	"gdpn/internal/graph"
+)
+
+func TestUniformSampleSizeAndRange(t *testing.T) {
+	g := construct.G2(3)
+	rng := rand.New(rand.NewSource(1))
+	for size := 0; size <= 3; size++ {
+		s := faults.Uniform{}.Sample(rng, g, size)
+		if s.Count() != size {
+			t.Fatalf("size %d: got %d faults", size, s.Count())
+		}
+		s.ForEach(func(v int) bool {
+			if v >= g.NumNodes() {
+				t.Fatalf("fault %d out of range", v)
+			}
+			return true
+		})
+	}
+}
+
+func TestProcessorsOnlySample(t *testing.T) {
+	g := construct.G2(3)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		s := faults.ProcessorsOnly{}.Sample(rng, g, 3)
+		s.ForEach(func(v int) bool {
+			if g.Kind(v) != graph.Processor {
+				t.Fatalf("non-processor fault %d", v)
+			}
+			return true
+		})
+	}
+}
+
+func TestTerminalsFirstPrefersTerminals(t *testing.T) {
+	g := construct.G2(2)
+	rng := rand.New(rand.NewSource(3))
+	s := faults.TerminalsFirst{}.Sample(rng, g, 2)
+	s.ForEach(func(v int) bool {
+		if g.Kind(v) == graph.Processor {
+			t.Fatalf("processor faulted while terminals remain")
+		}
+		return true
+	})
+	// Oversized request spills into processors.
+	total := 2 * (2 + 1)
+	big := faults.TerminalsFirst{}.Sample(rng, g, total+2)
+	if big.Count() != total+2 {
+		t.Fatalf("oversized sample = %d, want %d", big.Count(), total+2)
+	}
+}
+
+func TestClusteredConsecutivePositions(t *testing.T) {
+	g, lay, err := construct.Asymptotic(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		s := faults.Clustered{Layout: lay}.Sample(rng, g, 4)
+		if s.Count() != 4 {
+			t.Fatalf("count = %d", s.Count())
+		}
+		// All faults on ring nodes, consecutive modulo m.
+		pos := map[int]bool{}
+		for j, id := range lay.C {
+			if s.Contains(id) {
+				pos[j] = true
+			}
+		}
+		if len(pos) != 4 {
+			t.Fatalf("faults not all on the ring: %v", s.Slice())
+		}
+		consecutive := false
+		for start := range pos {
+			all := true
+			for i := 0; i < 4; i++ {
+				if !pos[(start+i)%lay.M] {
+					all = false
+					break
+				}
+			}
+			if all {
+				consecutive = true
+			}
+		}
+		if !consecutive {
+			t.Fatalf("positions not consecutive: %v", pos)
+		}
+	}
+}
+
+func TestClusteredWithoutLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	faults.Clustered{}.Sample(rand.New(rand.NewSource(1)), construct.G1(1), 1)
+}
+
+func TestAdversarialProducesValidSet(t *testing.T) {
+	g := construct.G3(2)
+	rng := rand.New(rand.NewSource(5))
+	s := faults.Adversarial{Pool: 4}.Sample(rng, g, 2)
+	if s.Count() != 2 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestInjectorRevealsAllFaults(t *testing.T) {
+	g := construct.G2(3)
+	inj := faults.NewInjector(faults.Uniform{}, g, 3, 7)
+	if inj.Remaining() != 3 {
+		t.Fatalf("remaining = %d", inj.Remaining())
+	}
+	seen := map[int]bool{}
+	for {
+		node, ok := inj.Next()
+		if !ok {
+			break
+		}
+		if seen[node] {
+			t.Fatalf("node %d revealed twice", node)
+		}
+		seen[node] = true
+		if !inj.Current().Contains(node) {
+			t.Fatal("Current does not track revealed fault")
+		}
+	}
+	if len(seen) != 3 || inj.Remaining() != 0 {
+		t.Fatalf("revealed %d faults", len(seen))
+	}
+	if _, ok := inj.Next(); ok {
+		t.Fatal("exhausted injector returned a fault")
+	}
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	g := construct.G2(3)
+	a := faults.NewInjector(faults.Uniform{}, g, 3, 11)
+	b := faults.NewInjector(faults.Uniform{}, g, 3, 11)
+	for {
+		na, oka := a.Next()
+		nb, okb := b.Next()
+		if oka != okb || na != nb {
+			t.Fatal("same seed produced different sequences")
+		}
+		if !oka {
+			break
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "processors-only", "terminals-first"} {
+		m, err := faults.ByName(name)
+		if err != nil || m.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := faults.ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	models := map[string]faults.Model{
+		"uniform":         faults.Uniform{},
+		"processors-only": faults.ProcessorsOnly{},
+		"terminals-first": faults.TerminalsFirst{},
+		"clustered":       faults.Clustered{},
+		"adversarial":     faults.Adversarial{},
+	}
+	for want, m := range models {
+		if m.Name() != want {
+			t.Errorf("Name() = %q, want %q", m.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/graph"
+)
+
+// Link identifies an undirected communication-link fault.
+type Link struct {
+	U, V int
+}
+
+// LinksToNodes reduces link faults to node faults per Hayes' model, which
+// the paper adopts (§2: "Hayes' graph model can accommodate faults in both
+// processors and communication links (by viewing an adjacent processor as
+// being faulty)"). Each faulty link marks ONE of its endpoints faulty; the
+// reduction greedily reuses endpoints already marked (several broken links
+// around one node cost a single node fault) and prefers processor
+// endpoints over terminals (sacrificing a terminal burns an I/O attachment
+// point for no benefit). The returned node fault set therefore has size at
+// most len(links), and tolerating it implies tolerating the original link
+// failures: no surviving pipeline uses a marked node, hence none uses a
+// faulty link.
+func LinksToNodes(g *graph.Graph, links []Link) (bitset.Set, error) {
+	s := bitset.New(g.NumNodes())
+	var pending []Link
+	for _, l := range links {
+		if !g.HasEdge(l.U, l.V) {
+			return nil, fmt.Errorf("faults: (%d,%d) is not an edge", l.U, l.V)
+		}
+		if s.Contains(l.U) || s.Contains(l.V) {
+			continue // already covered by a marked endpoint
+		}
+		pending = append(pending, l)
+	}
+	for _, l := range pending {
+		if s.Contains(l.U) || s.Contains(l.V) {
+			continue // covered by a node chosen for an earlier pending link
+		}
+		pick := l.U
+		if g.Kind(pick) != graph.Processor && g.Kind(l.V) == graph.Processor {
+			pick = l.V
+		}
+		s.Add(pick)
+	}
+	return s, nil
+}
+
+// LinkModel adapts a link-failure process to the node-fault interface:
+// Sample draws `size` random distinct links and returns the Hayes
+// reduction. The resulting node fault set can be smaller than size (shared
+// endpoints), never larger — so a k-gracefully-degradable graph tolerates
+// any k link faults.
+type LinkModel struct{}
+
+// Name implements Model.
+func (LinkModel) Name() string { return "links" }
+
+// Sample implements Model.
+func (LinkModel) Sample(rng *rand.Rand, g *graph.Graph, size int) bitset.Set {
+	links := RandomLinks(rng, g, size)
+	s, err := LinksToNodes(g, links)
+	if err != nil {
+		panic("faults: internal link sampling produced a non-edge: " + err.Error())
+	}
+	return s
+}
+
+// RandomLinks draws `size` distinct edges of g uniformly at random.
+func RandomLinks(rng *rand.Rand, g *graph.Graph, size int) []Link {
+	var all []Link
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				all = append(all, Link{v, int(u)})
+			}
+		}
+	}
+	if size > len(all) {
+		size = len(all)
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:size]
+}

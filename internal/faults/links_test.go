@@ -1,0 +1,137 @@
+package faults_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/faults"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+func TestLinksToNodesBasics(t *testing.T) {
+	g := construct.G2(2) // clique on 4 processors + terminals
+	procs := g.Processors()
+	links := []faults.Link{{procs[0], procs[1]}, {procs[2], procs[3]}}
+	s, err := faults.LinksToNodes(g, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2", s.Count())
+	}
+	// Each link must have a marked endpoint.
+	for _, l := range links {
+		if !s.Contains(l.U) && !s.Contains(l.V) {
+			t.Fatalf("link (%d,%d) uncovered", l.U, l.V)
+		}
+	}
+}
+
+func TestLinksToNodesSharedEndpoint(t *testing.T) {
+	// Several broken links around one node cost one node fault.
+	g := construct.G1(3) // clique on 4 processors
+	procs := g.Processors()
+	links := []faults.Link{
+		{procs[0], procs[1]}, {procs[0], procs[2]}, {procs[0], procs[3]},
+	}
+	s, err := faults.LinksToNodes(g, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 || !s.Contains(procs[0]) {
+		t.Fatalf("want single fault at shared endpoint, got %v", s.Slice())
+	}
+}
+
+func TestLinksToNodesPrefersProcessors(t *testing.T) {
+	g := construct.G1(2)
+	ti := g.InputTerminals()[0]
+	p := int(g.Neighbors(ti)[0])
+	s, err := faults.LinksToNodes(g, []faults.Link{{ti, p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(p) || s.Contains(ti) {
+		t.Fatalf("should mark the processor endpoint, got %v", s.Slice())
+	}
+	if g.Kind(s.Slice()[0]) != graph.Processor {
+		t.Fatal("marked a terminal")
+	}
+}
+
+func TestLinksToNodesRejectsNonEdge(t *testing.T) {
+	g := construct.G3(1)
+	// p0-p1 is a matched (absent) pair in G3.
+	if _, err := faults.LinksToNodes(g, []faults.Link{{0, 1}}); err == nil {
+		t.Fatal("non-edge accepted")
+	}
+}
+
+func TestLinkFaultsToleratedByDesign(t *testing.T) {
+	// A k-GD graph tolerates any k link failures via the Hayes reduction.
+	sol, err := construct.Design(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sol.Graph
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		links := faults.RandomLinks(rng, g, 2)
+		nodeFaults, err := faults.LinksToNodes(g, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nodeFaults.Count() > 2 {
+			t.Fatalf("reduction inflated fault count: %d", nodeFaults.Count())
+		}
+		path, ok, err := verify.Tolerates(g, nodeFaults, embed.Options{})
+		if err != nil || !ok {
+			t.Fatalf("trial %d: links %v not tolerated (ok=%v err=%v)", trial, links, ok, err)
+		}
+		// No surviving pipeline edge may be a faulty link.
+		for i := 1; i < len(path); i++ {
+			for _, l := range links {
+				if (path[i-1] == l.U && path[i] == l.V) || (path[i-1] == l.V && path[i] == l.U) {
+					t.Fatalf("pipeline uses faulty link (%d,%d)", l.U, l.V)
+				}
+			}
+		}
+	}
+}
+
+func TestLinkModelSample(t *testing.T) {
+	g := construct.G2(3)
+	rng := rand.New(rand.NewSource(5))
+	m := faults.LinkModel{}
+	if m.Name() != "links" {
+		t.Fatal("name")
+	}
+	for trial := 0; trial < 30; trial++ {
+		s := m.Sample(rng, g, 3)
+		if s.Count() > 3 {
+			t.Fatalf("sample produced %d node faults from 3 links", s.Count())
+		}
+	}
+}
+
+func TestRandomLinksDistinct(t *testing.T) {
+	g := construct.G1(2)
+	rng := rand.New(rand.NewSource(9))
+	links := faults.RandomLinks(rng, g, g.NumEdges()+5)
+	if len(links) != g.NumEdges() {
+		t.Fatalf("returned %d links, graph has %d edges", len(links), g.NumEdges())
+	}
+	seen := map[faults.Link]bool{}
+	for _, l := range links {
+		if seen[l] {
+			t.Fatalf("duplicate link %v", l)
+		}
+		seen[l] = true
+		if !g.HasEdge(l.U, l.V) {
+			t.Fatalf("non-edge %v", l)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// relabelRandom returns a copy of g with node ids permuted uniformly at
+// random (kinds and edges carried along; paper labels dropped since
+// Fingerprint must be invariant to drawing order, not paper labels).
+func relabelRandom(g *Graph, rng *rand.Rand) *Graph {
+	n := g.NumNodes()
+	perm := rng.Perm(n)
+	out := New(g.Name())
+	// Create nodes in permuted positions: node v of g becomes perm[v].
+	kinds := make([]Kind, n)
+	for v := 0; v < n; v++ {
+		kinds[perm[v]] = g.Kind(v)
+	}
+	for v := 0; v < n; v++ {
+		out.AddNode(kinds[v], NoLabel)
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				out.AddEdge(perm[v], perm[int(u)])
+			}
+		}
+	}
+	return out
+}
+
+func TestFingerprintInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := buildTriangle(t)
+	want := base.Fingerprint()
+	for i := 0; i < 25; i++ {
+		got := relabelRandom(base, rng).Fingerprint()
+		if got != want {
+			t.Fatalf("fingerprint changed under relabeling: %x vs %x", got, want)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	// Path p0-p1-p2 vs triangle: same sizes after adding an edge? Use two
+	// clearly different graphs with identical node/edge counts.
+	a := New("a") // 4-cycle
+	for i := 0; i < 4; i++ {
+		a.AddNode(Processor, NoLabel)
+	}
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	a.AddEdge(2, 3)
+	a.AddEdge(3, 0)
+
+	b := New("b") // triangle + pendant
+	for i := 0; i < 4; i++ {
+		b.AddNode(Processor, NoLabel)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint collision between 4-cycle and triangle+pendant")
+	}
+}
+
+func TestFingerprintSensitiveToKinds(t *testing.T) {
+	a := New("a")
+	a.AddNode(Processor, NoLabel)
+	a.AddNode(Processor, NoLabel)
+	a.AddEdge(0, 1)
+	b := New("b")
+	b.AddNode(Processor, NoLabel)
+	b.AddNode(InputTerminal, NoLabel)
+	b.AddEdge(0, 1)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint ignores kinds")
+	}
+}
+
+func TestIsomorphicBruteAcceptsRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := buildTriangle(t)
+	for i := 0; i < 10; i++ {
+		other := relabelRandom(base, rng)
+		if !IsomorphicBrute(base, other) {
+			t.Fatal("IsomorphicBrute rejected a relabeled copy")
+		}
+	}
+}
+
+func TestIsomorphicBruteRejects(t *testing.T) {
+	a := buildTriangle(t)
+	b := a.Clone()
+	b.RemoveEdge(0, 1) // break the processor triangle
+	b.AddEdge(3, 1)    // keep edge count equal (i0 now degree 2)
+	if IsomorphicBrute(a, b) {
+		t.Fatal("IsomorphicBrute accepted non-isomorphic graphs")
+	}
+	c := New("c")
+	c.AddNode(Processor, NoLabel)
+	if IsomorphicBrute(a, c) {
+		t.Fatal("different sizes accepted")
+	}
+	// Different kind counts, same node count.
+	d := a.Clone()
+	d.SetKind(3, OutputTerminal)
+	if IsomorphicBrute(a, d) {
+		t.Fatal("different kind counts accepted")
+	}
+}
+
+func TestIsomorphicBruteTerminalKindsMatter(t *testing.T) {
+	// Two graphs whose processor subgraphs are identical but whose terminal
+	// kinds attach to different processors: K2 with i on p0/o on p1 vs i on
+	// p0 and o on p0's partner swapped — use asymmetric case.
+	mk := func(inputOn int) *Graph {
+		g := New("t")
+		p0 := g.AddNode(Processor, 0)
+		p1 := g.AddNode(Processor, 1)
+		p2 := g.AddNode(Processor, 2)
+		g.AddEdge(p0, p1)
+		g.AddEdge(p1, p2) // path p0-p1-p2: p1 is the center
+		in := g.AddNode(InputTerminal, 0)
+		out := g.AddNode(OutputTerminal, 0)
+		g.AddEdge(in, inputOn)
+		g.AddEdge(out, p2)
+		_ = p0
+		return g
+	}
+	endpoints := mk(0) // input at an end
+	center := mk(1)    // input at the center
+	if IsomorphicBrute(endpoints, center) {
+		t.Fatal("terminal placement should distinguish the graphs")
+	}
+	if !IsomorphicBrute(endpoints, mk(0)) {
+		t.Fatal("identical construction should be isomorphic")
+	}
+}
+
+func TestIsomorphicBruteLimit(t *testing.T) {
+	g := New("big")
+	for i := 0; i < 13; i++ {
+		g.AddNode(Processor, NoLabel)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for > 12 processors")
+		}
+	}()
+	IsomorphicBrute(g, g)
+}
+
+func TestFingerprintAgreesWithIsomorphism(t *testing.T) {
+	// Randomized cross-check: for random small graphs, isomorphic copies
+	// share fingerprints.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		g := New("r")
+		n := 4 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			g.AddNode(Processor, NoLabel)
+		}
+		for e := 0; e < n+2; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		h := relabelRandom(g, rng)
+		if g.Fingerprint() != h.Fingerprint() {
+			t.Fatal("fingerprint differs for relabeled copy")
+		}
+		if !IsomorphicBrute(g, h) {
+			t.Fatal("brute isomorphism rejected relabeled copy")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the on-disk JSON schema. Kinds are spelled out so dumps are
+// self-describing and diffable.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type jsonNode struct {
+	Kind  string `json:"kind"`
+	Label *int   `json:"label,omitempty"`
+}
+
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "processor":
+		return Processor, nil
+	case "input":
+		return InputTerminal, nil
+	case "output":
+		return OutputTerminal, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown kind %q", s)
+	}
+}
+
+// MarshalJSON encodes the graph with nodes in id order and edges sorted
+// lexicographically, so equal graphs produce identical bytes.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name, Nodes: make([]jsonNode, g.NumNodes())}
+	for v := 0; v < g.NumNodes(); v++ {
+		jn := jsonNode{Kind: g.Kind(v).String()}
+		if l := g.Label(v); l != NoLabel {
+			lv := l
+			jn.Label = &lv
+		}
+		jg.Nodes[v] = jn
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				jg.Edges = append(jg.Edges, [2]int{v, int(u)})
+			}
+		}
+	}
+	sort.Slice(jg.Edges, func(i, j int) bool {
+		if jg.Edges[i][0] != jg.Edges[j][0] {
+			return jg.Edges[i][0] < jg.Edges[j][0]
+		}
+		return jg.Edges[i][1] < jg.Edges[j][1]
+	})
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalJSON decodes a graph previously produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	*g = Graph{name: jg.Name}
+	for _, jn := range jg.Nodes {
+		k, err := kindFromString(jn.Kind)
+		if err != nil {
+			return err
+		}
+		label := NoLabel
+		if jn.Label != nil {
+			label = *jn.Label
+		}
+		g.AddNode(k, label)
+	}
+	for _, e := range jg.Edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= g.NumNodes() || e[1] >= g.NumNodes() {
+			return fmt.Errorf("graph: edge %v out of range", e)
+		}
+		if e[0] == e[1] || g.HasEdge(e[0], e[1]) {
+			return fmt.Errorf("graph: invalid edge %v", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	return nil
+}
+
+// WriteDOT renders the graph in Graphviz DOT format, mirroring the paper's
+// figure conventions: processors as circles, input terminals as filled
+// squares, output terminals as open squares, nodes captioned with their
+// paper labels.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", sanitizeDOTName(g.name))
+	b.WriteString("  layout=neato;\n  overlap=false;\n")
+	for v := 0; v < g.NumNodes(); v++ {
+		shape, style := "circle", "solid"
+		switch g.Kind(v) {
+		case InputTerminal:
+			shape, style = "square", "filled"
+		case OutputTerminal:
+			shape, style = "square", "solid"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s, style=%s];\n", v, NodeName(g, v), shape, style)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				fmt.Fprintf(&b, "  n%d -- n%d;\n", v, u)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitizeDOTName(s string) string {
+	if s == "" {
+		return "G"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildTriangle(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %s vs %s", back.Summary(), g.Summary())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if back.Kind(v) != g.Kind(v) || back.Label(v) != g.Label(v) {
+			t.Fatalf("node %d mismatch", v)
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			if back.HasEdge(v, u) != g.HasEdge(v, u) {
+				t.Fatalf("edge (%d,%d) mismatch", v, u)
+			}
+		}
+	}
+	if back.Name() != "triangle" {
+		t.Fatalf("name = %q", back.Name())
+	}
+	// Determinism: marshaling twice gives identical bytes.
+	data2, _ := json.Marshal(&back)
+	if !bytes.Equal(data, data2) {
+		t.Fatal("non-deterministic JSON encoding")
+	}
+}
+
+func TestJSONUnlabeledNodeOmitsLabel(t *testing.T) {
+	g := New("u")
+	g.AddNode(Processor, NoLabel)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "label") {
+		t.Fatalf("unlabeled node should omit label field: %s", data)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label(0) != NoLabel {
+		t.Fatalf("label = %d, want NoLabel", back.Label(0))
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":     `{"name":"x","nodes":[{"kind":"alien"}],"edges":[]}`,
+		"self loop":    `{"name":"x","nodes":[{"kind":"processor"},{"kind":"processor"}],"edges":[[0,0]]}`,
+		"out of range": `{"name":"x","nodes":[{"kind":"processor"}],"edges":[[0,5]]}`,
+		"duplicate":    `{"name":"x","nodes":[{"kind":"processor"},{"kind":"processor"}],"edges":[[0,1],[1,0]]}`,
+		"not json":     `{{{`,
+	}
+	for name, in := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(in), &g); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := buildTriangle(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph \"triangle\"", "n0 -- n1", "shape=square", "i0", "o0", "p1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Each undirected edge appears exactly once.
+	if strings.Count(out, " -- ") != g.NumEdges() {
+		t.Errorf("DOT edge count = %d, want %d", strings.Count(out, " -- "), g.NumEdges())
+	}
+}
+
+func TestSanitizeDOTName(t *testing.T) {
+	if got := sanitizeDOTName(""); got != "G" {
+		t.Fatalf("empty name = %q", got)
+	}
+	if got := sanitizeDOTName("a\"b\nc"); got != "a_b_c" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON feeds arbitrary bytes to the graph decoder: it must
+// either reject the input or produce a structurally valid graph that
+// round-trips byte-identically.
+func FuzzUnmarshalJSON(f *testing.F) {
+	tri := buildTriangle(f)
+	seed, err := json.Marshal(tri)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"name":"x","nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"name":"x","nodes":[{"kind":"processor"}],"edges":[[0,0]]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejection is fine
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted a structurally invalid graph: %v", err)
+		}
+		out1, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var g2 Graph
+		if err := json.Unmarshal(out1, &g2); err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		out2, err := json.Marshal(&g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out1) != string(out2) {
+			t.Fatal("round trip is not a fixed point")
+		}
+	})
+}

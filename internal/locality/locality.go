@@ -1,0 +1,116 @@
+// Package locality analyzes how physically "short" a pipeline embedding
+// is. The paper targets VLSI processor arrays ([18], §1): a circulant of
+// small offsets wires cheaply, and a pipeline that mostly follows
+// unit-distance ring edges keeps signal paths short even after
+// reconfiguration. Profile classifies every hop of a pipeline by the kind
+// of edge it uses and, for ring-to-ring hops, by the circulant offset.
+package locality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+)
+
+// HopKind classifies one pipeline hop.
+type HopKind int
+
+const (
+	// Terminal hops connect a terminal to its border processor.
+	Terminal HopKind = iota
+	// Clique hops stay inside the I or O clique or cross into S.
+	Clique
+	// Ring hops connect two circulant nodes; their offset is recorded.
+	Ring
+)
+
+// Profile is the locality breakdown of one pipeline.
+type Profile struct {
+	// Hops is the total number of pipeline edges.
+	Hops int
+	// TerminalHops and CliqueHops count non-ring edges.
+	TerminalHops, CliqueHops int
+	// RingHops counts circulant edges; OffsetHistogram maps each circulant
+	// offset (1..⌊m/2⌋) to its use count.
+	RingHops        int
+	OffsetHistogram map[int]int
+}
+
+// UnitFraction returns the fraction of ring hops that use the unit offset
+// (physically adjacent nodes).
+func (p *Profile) UnitFraction() float64 {
+	if p.RingHops == 0 {
+		return 0
+	}
+	return float64(p.OffsetHistogram[1]) / float64(p.RingHops)
+}
+
+// MaxOffset returns the largest circulant offset the pipeline uses.
+func (p *Profile) MaxOffset() int {
+	max := 0
+	for off := range p.OffsetHistogram {
+		if off > max {
+			max = off
+		}
+	}
+	return max
+}
+
+// String renders the profile compactly.
+func (p *Profile) String() string {
+	offs := make([]int, 0, len(p.OffsetHistogram))
+	for o := range p.OffsetHistogram {
+		offs = append(offs, o)
+	}
+	sort.Ints(offs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d hops (%d terminal, %d clique, %d ring;", p.Hops, p.TerminalHops, p.CliqueHops, p.RingHops)
+	for _, o := range offs {
+		fmt.Fprintf(&b, " ±%d×%d", o, p.OffsetHistogram[o])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Analyze profiles a pipeline over an asymptotic-construction layout.
+func Analyze(g *graph.Graph, lay *construct.Layout, path graph.Path) (*Profile, error) {
+	if lay == nil {
+		return nil, fmt.Errorf("locality: layout required")
+	}
+	// Ring position by node id.
+	pos := make(map[int]int, lay.M)
+	for j, id := range lay.C {
+		pos[id] = j
+	}
+	p := &Profile{OffsetHistogram: map[int]int{}}
+	for i := 1; i < len(path); i++ {
+		u, v := path[i-1], path[i]
+		if !g.HasEdge(u, v) {
+			return nil, fmt.Errorf("locality: hop (%d,%d) is not an edge", u, v)
+		}
+		p.Hops++
+		if g.Kind(u) != graph.Processor || g.Kind(v) != graph.Processor {
+			p.TerminalHops++
+			continue
+		}
+		pu, okU := pos[u]
+		pv, okV := pos[v]
+		if !okU || !okV {
+			p.CliqueHops++ // at least one endpoint is an I or O node
+			continue
+		}
+		d := pu - pv
+		if d < 0 {
+			d = -d
+		}
+		if lay.M-d < d {
+			d = lay.M - d
+		}
+		p.RingHops++
+		p.OffsetHistogram[d]++
+	}
+	return p, nil
+}

@@ -1,0 +1,96 @@
+package locality_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/locality"
+)
+
+func TestAnalyzeFaultFreePipeline(t *testing.T) {
+	g, lay, err := construct.Asymptotic(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := embed.FindPipeline(g, nil)
+	if !ok {
+		t.Fatal("no pipeline")
+	}
+	p, err := locality.Analyze(g, lay, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops != len(path)-1 {
+		t.Fatalf("hops %d, want %d", p.Hops, len(path)-1)
+	}
+	// Exactly two terminal hops (the ends).
+	if p.TerminalHops != 2 {
+		t.Fatalf("terminal hops %d, want 2", p.TerminalHops)
+	}
+	if p.TerminalHops+p.CliqueHops+p.RingHops != p.Hops {
+		t.Fatal("hop kinds do not partition the pipeline")
+	}
+	// Fault-free pipelines sweep the ring: the unit offset dominates.
+	if p.UnitFraction() < 0.7 {
+		t.Fatalf("unit fraction %.2f; expected a mostly-unit sweep (%s)", p.UnitFraction(), p)
+	}
+	// No hop can exceed the largest circulant offset.
+	if p.MaxOffset() > lay.P+1 && !(lay.HasBisector && p.MaxOffset() >= lay.Bisector) {
+		t.Fatalf("offset %d beyond construction offsets", p.MaxOffset())
+	}
+	if !strings.Contains(p.String(), "ring") {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestAnalyzeUnderFaults(t *testing.T) {
+	g, lay, err := construct.Asymptotic(60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := embed.NewSolver(g, embed.Options{Layout: lay})
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		faults := bitset.New(g.NumNodes())
+		for faults.Count() < 6 {
+			faults.Add(rng.Intn(g.NumNodes()))
+		}
+		r := solver.Find(faults)
+		if !r.Found {
+			t.Fatal("no pipeline")
+		}
+		p, err := locality.Analyze(g, lay, r.Pipeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Jumps must stay within the construction's offsets.
+		if p.MaxOffset() > lay.P+1 {
+			t.Fatalf("trial %d: offset %d > p+1 = %d (%s)", trial, p.MaxOffset(), lay.P+1, p)
+		}
+		// Even under k faults the pipeline stays local: sweeps use unit
+		// hops, zigzag coverage of dead-end pockets uses ±2 strides, so
+		// together they must dominate.
+		shortHops := p.OffsetHistogram[1] + p.OffsetHistogram[2]
+		if p.RingHops > 0 && float64(shortHops)/float64(p.RingHops) < 0.5 {
+			t.Fatalf("trial %d: short-hop fraction %.2f (%s)",
+				trial, float64(shortHops)/float64(p.RingHops), p)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	g, lay, err := construct.Asymptotic(22, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := locality.Analyze(g, nil, nil); err == nil {
+		t.Fatal("nil layout accepted")
+	}
+	if _, err := locality.Analyze(g, lay, []int{0, 99}); err == nil {
+		t.Fatal("non-edge hop accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package pipeline is the streaming runtime that the paper's constructions
+// exist to serve (§1): it maps a sequence of signal-processing stages onto
+// the processors of a gracefully degradable pipeline network, pumps frames
+// through a goroutine-per-processor channel chain, and — when a fault is
+// injected — asks the embedding solver for a new pipeline over the
+// remaining healthy processors and remaps the stages onto it.
+//
+// Graceful degradation is visible directly in the runtime: after f ≤ k
+// faults the pipeline still uses every healthy processor (verified on each
+// remap), so per-processor load grows by only n/(n−f) rather than dropping
+// processors wholesale.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+	"gdpn/internal/reconfig"
+	"gdpn/internal/stages"
+)
+
+// Frame is one block of samples moving through the pipeline.
+type Frame struct {
+	Seq  int
+	Data []float64
+}
+
+// Metrics aggregates runtime behaviour across the engine's lifetime.
+type Metrics struct {
+	// FramesProcessed counts frames that exited the pipeline.
+	FramesProcessed int64
+	// Remaps counts successful reconfigurations.
+	Remaps int
+	// RemapTime accumulates the time spent computing new pipelines.
+	RemapTime time.Duration
+	// FaultsInjected counts Inject calls that added a fault.
+	FaultsInjected int
+	// Repairs breaks reconfigurations down by tactic (splice / rewire /
+	// endpoint swap / full remap) — see internal/reconfig.
+	Repairs reconfig.Stats
+}
+
+// Engine drives one pipeline network.
+type Engine struct {
+	g      *graph.Graph
+	mgr    *reconfig.Manager
+	stages []stages.Stage
+	assign [][]int // per pipeline position (processors only): logical stage indices
+	m      Metrics
+}
+
+// New builds an engine over a designed solution and the given logical
+// stage chain, and maps the initial (fault-free) pipeline. The stage
+// instances are owned by the engine: their internal state survives
+// remapping, as a checkpoint-restore would in a real array.
+func New(sol *construct.Solution, stgs []stages.Stage) (*Engine, error) {
+	if len(stgs) == 0 {
+		return nil, fmt.Errorf("pipeline: need at least one stage")
+	}
+	mgr, err := reconfig.New(sol)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{g: sol.Graph, mgr: mgr, stages: stgs}
+	e.assignStages()
+	return e, nil
+}
+
+// Pipeline returns the current pipeline path (aliased; do not modify).
+func (e *Engine) Pipeline() graph.Path { return e.mgr.Pipeline() }
+
+// ProcessorsInUse returns the number of processors in the current pipeline.
+func (e *Engine) ProcessorsInUse() int { return len(e.mgr.Pipeline()) - 2 }
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics { return e.m }
+
+// StagesOn returns the logical stage indices assigned to pipeline position
+// pos (0-based over processors).
+func (e *Engine) StagesOn(pos int) []int { return e.assign[pos] }
+
+// Inject marks a node faulty and repairs the pipeline — locally when one
+// of the reconfig tactics applies, by full recompute otherwise. It returns
+// an error (leaving the previous mapping in place) when the node is
+// already faulty or when no pipeline survives — the latter only happens
+// beyond the design fault budget k.
+func (e *Engine) Inject(node int) error {
+	start := time.Now()
+	if _, err := e.mgr.Fault(node); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	e.m.RemapTime += time.Since(start)
+	e.m.FaultsInjected++
+	e.m.Remaps++
+	e.m.Repairs = e.mgr.Stats()
+	e.assignStages()
+	return nil
+}
+
+// Repair marks a node healthy again and reinstates it in the pipeline.
+func (e *Engine) Repair(node int) error {
+	start := time.Now()
+	if _, err := e.mgr.Repair(node); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	e.m.RemapTime += time.Since(start)
+	e.m.Remaps++
+	e.m.Repairs = e.mgr.Stats()
+	e.assignStages()
+	return nil
+}
+
+// assignStages redistributes the logical stages contiguously over the
+// current pipeline's processors.
+func (e *Engine) assignStages() {
+	L := len(e.mgr.Pipeline()) - 2
+	S := len(e.stages)
+	e.assign = make([][]int, L)
+	for i := 0; i < L; i++ {
+		lo := i * S / L
+		hi := (i + 1) * S / L
+		for s := lo; s < hi; s++ {
+			e.assign[i] = append(e.assign[i], s)
+		}
+	}
+	// When there are more processors than stages, trailing processors act
+	// as pass-through relays (assign[i] empty) — they still carry the
+	// stream, which is exactly the paper's model of a pipeline using all
+	// healthy processors.
+}
+
+// Process streams the frames through the current mapping using one
+// goroutine per pipeline processor connected by channels, and returns the
+// transformed frames in order. Stages with internal state carry it across
+// calls. Faults are injected between Process calls (epoch model).
+func (e *Engine) Process(frames []Frame) []Frame {
+	L := len(e.assign)
+	chans := make([]chan Frame, L+1)
+	for i := range chans {
+		chans[i] = make(chan Frame, 4)
+	}
+	for i := 0; i < L; i++ {
+		go func(pos int) {
+			owned := e.assign[pos]
+			for f := range chans[pos] {
+				data := f.Data
+				for _, si := range owned {
+					data = e.stages[si].Process(data)
+				}
+				// Copy: stage output buffers are reused per instance.
+				out := Frame{Seq: f.Seq, Data: append([]float64(nil), data...)}
+				chans[pos+1] <- out
+			}
+			close(chans[pos+1])
+		}(i)
+	}
+	go func() {
+		for _, f := range frames {
+			chans[0] <- f
+		}
+		close(chans[0])
+	}()
+	out := make([]Frame, 0, len(frames))
+	for f := range chans[L] {
+		out = append(out, f)
+	}
+	e.m.FramesProcessed += int64(len(out))
+	return out
+}
+
+// ProcessSequential applies the stage chain to the frames on the calling
+// goroutine — the reference implementation Process is tested against.
+func (e *Engine) ProcessSequential(frames []Frame) []Frame {
+	out := make([]Frame, 0, len(frames))
+	for _, f := range frames {
+		data := f.Data
+		for _, owned := range e.assign {
+			for _, si := range owned {
+				data = e.stages[si].Process(data)
+			}
+		}
+		out = append(out, Frame{Seq: f.Seq, Data: append([]float64(nil), data...)})
+	}
+	e.m.FramesProcessed += int64(len(out))
+	return out
+}
+
+// Faults returns the currently injected fault set (aliased; do not modify).
+func (e *Engine) Faults() bitset.Set { return e.mgr.Faults() }

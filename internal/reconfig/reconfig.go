@@ -1,0 +1,295 @@
+// Package reconfig maintains a live pipeline across fault arrivals and
+// repairs with minimal disruption. The paper guarantees that after any
+// ≤ k faults SOME pipeline exists; a deployed array additionally cares how
+// much of the old mapping survives a fault — every moved stage means state
+// migration. This package repairs incrementally:
+//
+//   - splice: the failed processor's neighbors on the pipeline happen to
+//     be adjacent — drop the node, nothing else moves;
+//   - 2-opt rewire: reverse one segment of the pipeline to route around
+//     the failed node — only the segment's direction changes;
+//   - endpoint swap: a failed terminal is replaced by another healthy
+//     terminal attached to the same border processor;
+//   - insert: a repaired processor is spliced back between two adjacent
+//     pipeline neighbors;
+//
+// falling back to a full solver recompute only when no local tactic
+// applies. Every repaired pipeline is certificate-checked; an invalid
+// local repair degrades to the full recompute, never to a wrong result.
+package reconfig
+
+import (
+	"fmt"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+// Tactic identifies how a repair was accomplished.
+type Tactic int
+
+const (
+	// NoChange means the failed node was not part of the pipeline.
+	NoChange Tactic = iota
+	// Splice removed the failed node; its pipeline neighbors were adjacent.
+	Splice
+	// Rewire routed around the failed node by reversing one segment.
+	Rewire
+	// EndpointSwap replaced a failed terminal with a sibling terminal.
+	EndpointSwap
+	// Insert spliced a repaired processor back into the pipeline.
+	Insert
+	// FullRemap recomputed the pipeline with the solver.
+	FullRemap
+)
+
+// String names the tactic.
+func (t Tactic) String() string {
+	switch t {
+	case NoChange:
+		return "no-change"
+	case Splice:
+		return "splice"
+	case Rewire:
+		return "rewire"
+	case EndpointSwap:
+		return "endpoint-swap"
+	case Insert:
+		return "insert"
+	case FullRemap:
+		return "full-remap"
+	default:
+		return fmt.Sprintf("tactic(%d)", int(t))
+	}
+}
+
+// Stats counts repairs by tactic.
+type Stats struct {
+	NoChange, Splice, Rewire, EndpointSwap, Insert, FullRemap int
+	// MovedStages accumulates |positions whose processor changed| across
+	// repairs — the state-migration cost a deployment would pay.
+	MovedStages int
+}
+
+// Manager holds the live pipeline of one network.
+type Manager struct {
+	g      *graph.Graph
+	solver *embed.Solver
+	faults bitset.Set
+	path   graph.Path
+	stats  Stats
+}
+
+// New computes the initial (fault-free) pipeline for a designed solution.
+func New(sol *construct.Solution) (*Manager, error) {
+	m := &Manager{
+		g:      sol.Graph,
+		solver: embed.NewSolver(sol.Graph, embed.Options{Layout: sol.Layout}),
+		faults: bitset.New(sol.Graph.NumNodes()),
+	}
+	if err := m.fullRemap(); err != nil {
+		return nil, err
+	}
+	m.stats = Stats{} // the initial mapping is not a repair
+	return m, nil
+}
+
+// Pipeline returns the current pipeline (aliased; do not modify).
+func (m *Manager) Pipeline() graph.Path { return m.path }
+
+// Stats returns the repair counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Faults returns the current fault set (aliased; do not modify).
+func (m *Manager) Faults() bitset.Set { return m.faults }
+
+// Fault marks a node faulty and repairs the pipeline, preferring local
+// tactics. It returns the tactic used, or an error when no pipeline
+// survives (beyond-budget fault sets) — in that case the fault is rolled
+// back and the previous pipeline remains valid.
+func (m *Manager) Fault(node int) (Tactic, error) {
+	if node < 0 || node >= m.g.NumNodes() {
+		return 0, fmt.Errorf("reconfig: node %d out of range", node)
+	}
+	if m.faults.Contains(node) {
+		return 0, fmt.Errorf("reconfig: node %d already faulty", node)
+	}
+	m.faults.Add(node)
+
+	idx := -1
+	for i, v := range m.path {
+		if v == node {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		// Not on the pipeline: only unused terminals qualify (every healthy
+		// processor is on the pipeline by definition).
+		m.stats.NoChange++
+		return NoChange, nil
+	}
+
+	var tactic Tactic
+	var repaired graph.Path
+	switch {
+	case idx == 0 || idx == len(m.path)-1:
+		repaired, tactic = m.repairEndpoint(idx)
+	default:
+		repaired, tactic = m.repairInterior(idx)
+	}
+	if repaired != nil && verify.CheckPipeline(m.g, m.faults, repaired) == nil {
+		m.stats.MovedStages += movedStages(m.path, repaired)
+		m.path = repaired
+		m.bump(tactic)
+		return tactic, nil
+	}
+	// Local tactics failed (or produced something invalid): full remap.
+	if err := m.fullRemap(); err != nil {
+		m.faults.Remove(node)
+		return 0, err
+	}
+	return FullRemap, nil
+}
+
+// Repair marks a node healthy again and re-inserts it into the pipeline
+// (graceful degradation works in both directions: a repaired processor
+// must be used again).
+func (m *Manager) Repair(node int) (Tactic, error) {
+	if node < 0 || node >= m.g.NumNodes() || !m.faults.Contains(node) {
+		return 0, fmt.Errorf("reconfig: node %d is not faulty", node)
+	}
+	m.faults.Remove(node)
+	if m.g.Kind(node) != graph.Processor {
+		// A repaired terminal changes nothing until an endpoint needs it.
+		m.stats.NoChange++
+		return NoChange, nil
+	}
+	// Insert between some adjacent pipeline pair.
+	for i := 0; i+1 < len(m.path); i++ {
+		if m.g.HasEdge(m.path[i], node) && m.g.HasEdge(node, m.path[i+1]) {
+			repaired := make(graph.Path, 0, len(m.path)+1)
+			repaired = append(repaired, m.path[:i+1]...)
+			repaired = append(repaired, node)
+			repaired = append(repaired, m.path[i+1:]...)
+			if verify.CheckPipeline(m.g, m.faults, repaired) == nil {
+				m.path = repaired
+				m.stats.Insert++
+				return Insert, nil
+			}
+		}
+	}
+	if err := m.fullRemap(); err != nil {
+		m.faults.Add(node)
+		return 0, err
+	}
+	return FullRemap, nil
+}
+
+// repairInterior handles a failed interior processor at position idx.
+func (m *Manager) repairInterior(idx int) (graph.Path, Tactic) {
+	a, b := m.path[idx-1], m.path[idx+1]
+	// Splice: neighbors already adjacent.
+	if m.g.HasEdge(a, b) {
+		out := make(graph.Path, 0, len(m.path)-1)
+		out = append(out, m.path[:idx]...)
+		out = append(out, m.path[idx+1:]...)
+		return out, Splice
+	}
+	// 2-opt rewire: reverse path[idx+1..j] so that a—path[j] and
+	// path[idx+1]—path[j+1] become the new links.
+	for j := idx + 1; j+1 < len(m.path); j++ {
+		if m.g.HasEdge(a, m.path[j]) && m.g.HasEdge(m.path[idx+1], m.path[j+1]) {
+			out := make(graph.Path, 0, len(m.path)-1)
+			out = append(out, m.path[:idx]...)
+			for x := j; x >= idx+1; x-- {
+				out = append(out, m.path[x])
+			}
+			out = append(out, m.path[j+1:]...)
+			return out, Rewire
+		}
+	}
+	// Mirror: reverse path[i..idx-1] on the left side.
+	for i := idx - 1; i > 0; i-- {
+		if m.g.HasEdge(m.path[i-1], m.path[idx-1]) && m.g.HasEdge(m.path[i], b) {
+			out := make(graph.Path, 0, len(m.path)-1)
+			out = append(out, m.path[:i]...)
+			for x := idx - 1; x >= i; x-- {
+				out = append(out, m.path[x])
+			}
+			out = append(out, m.path[idx+1:]...)
+			return out, Rewire
+		}
+	}
+	return nil, FullRemap
+}
+
+// repairEndpoint handles a failed terminal at either end.
+func (m *Manager) repairEndpoint(idx int) (graph.Path, Tactic) {
+	var border int
+	var kind graph.Kind
+	if idx == 0 {
+		border = m.path[1]
+		kind = graph.InputTerminal
+	} else {
+		border = m.path[len(m.path)-2]
+		kind = graph.OutputTerminal
+	}
+	for _, u := range m.g.Neighbors(border) {
+		if m.g.Kind(int(u)) == kind && !m.faults.Contains(int(u)) {
+			out := append(graph.Path(nil), m.path...)
+			if idx == 0 {
+				out[0] = int(u)
+			} else {
+				out[len(out)-1] = int(u)
+			}
+			return out, EndpointSwap
+		}
+	}
+	return nil, FullRemap
+}
+
+func (m *Manager) fullRemap() error {
+	res := m.solver.Find(m.faults)
+	if !res.Found {
+		return fmt.Errorf("reconfig: no pipeline (unknown=%v, faults=%v)", res.Unknown, m.faults.Slice())
+	}
+	if err := verify.CheckPipeline(m.g, m.faults, res.Pipeline); err != nil {
+		return fmt.Errorf("reconfig: solver returned invalid pipeline: %w", err)
+	}
+	if m.path != nil {
+		m.stats.MovedStages += movedStages(m.path, res.Pipeline)
+	}
+	m.path = res.Pipeline
+	m.stats.FullRemap++
+	return nil
+}
+
+func (m *Manager) bump(t Tactic) {
+	switch t {
+	case Splice:
+		m.stats.Splice++
+	case Rewire:
+		m.stats.Rewire++
+	case EndpointSwap:
+		m.stats.EndpointSwap++
+	}
+}
+
+// movedStages counts pipeline positions whose processor changed between
+// two mappings (positions are compared over the shorter interior; a pure
+// splice moves only the positions after the removed node... which still
+// count, since their stage assignment shifts).
+func movedStages(old, new graph.Path) int {
+	oi, ni := old[1:len(old)-1], new[1:len(new)-1]
+	moved := 0
+	for i := 0; i < len(ni); i++ {
+		if i >= len(oi) || oi[i] != ni[i] {
+			moved++
+		}
+	}
+	return moved
+}

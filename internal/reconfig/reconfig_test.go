@@ -1,0 +1,229 @@
+package reconfig_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+	"gdpn/internal/reconfig"
+	"gdpn/internal/verify"
+)
+
+func manager(t testing.TB, n, k int) *reconfig.Manager {
+	t.Helper()
+	sol, err := construct.Design(n, k)
+	if err != nil {
+		t.Fatalf("Design(%d,%d): %v", n, k, err)
+	}
+	m, err := reconfig.New(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustValid(t *testing.T, m *reconfig.Manager, g *graph.Graph) {
+	t.Helper()
+	if err := verify.CheckPipeline(g, m.Faults(), m.Pipeline()); err != nil {
+		t.Fatalf("invalid pipeline after repair: %v", err)
+	}
+}
+
+func TestFaultOffPipelineIsNoChange(t *testing.T) {
+	sol, _ := construct.Design(8, 2)
+	m, err := reconfig.New(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a terminal not used by the current pipeline.
+	used := map[int]bool{}
+	for _, v := range m.Pipeline() {
+		used[v] = true
+	}
+	victim := -1
+	for _, ti := range sol.Graph.InputTerminals() {
+		if !used[ti] {
+			victim = ti
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no unused terminal")
+	}
+	tac, err := m.Fault(victim)
+	if err != nil || tac != reconfig.NoChange {
+		t.Fatalf("tactic %v err %v, want no-change", tac, err)
+	}
+	if m.Stats().NoChange != 1 {
+		t.Fatalf("stats %+v", m.Stats())
+	}
+	mustValid(t, m, sol.Graph)
+}
+
+func TestInteriorFaultRepairs(t *testing.T) {
+	sol, _ := construct.Design(12, 3)
+	m, err := reconfig.New(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := m.Pipeline()
+		victim := p[len(p)/2]
+		tac, err := m.Fault(victim)
+		if err != nil {
+			t.Fatalf("fault %d: %v", i, err)
+		}
+		if tac == reconfig.NoChange {
+			t.Fatalf("interior fault reported no-change")
+		}
+		mustValid(t, m, sol.Graph)
+	}
+	if got := len(m.Pipeline()) - 2; got != 12 {
+		t.Fatalf("processors in use %d, want 12 (all healthy)", got)
+	}
+}
+
+func TestEndpointTerminalSwap(t *testing.T) {
+	sol, _ := construct.Design(10, 2)
+	m, err := reconfig.New(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Pipeline()[0]
+	if sol.Graph.Kind(first) != graph.InputTerminal && sol.Graph.Kind(first) != graph.OutputTerminal {
+		t.Fatal("pipeline does not start with a terminal")
+	}
+	tac, err := m.Fault(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, m, sol.Graph)
+	// G(10,2) terminals have degree 1, so the border processor has exactly
+	// one terminal of each kind; an endpoint swap is impossible and a full
+	// remap (or rewire path) is expected — whatever happened must be valid.
+	_ = tac
+}
+
+func TestRepairReinsertsProcessor(t *testing.T) {
+	sol, _ := construct.Design(9, 2)
+	m, err := reconfig.New(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := m.Pipeline()[4]
+	if _, err := m.Fault(victim); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, m, sol.Graph)
+	if len(m.Pipeline())-2 != 10 { // 11 processors − 1 fault
+		t.Fatalf("coverage %d", len(m.Pipeline())-2)
+	}
+	tac, err := m.Repair(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tac != reconfig.Insert && tac != reconfig.FullRemap {
+		t.Fatalf("tactic %v", tac)
+	}
+	mustValid(t, m, sol.Graph)
+	if len(m.Pipeline())-2 != 11 {
+		t.Fatalf("repaired processor not reinstated: coverage %d", len(m.Pipeline())-2)
+	}
+}
+
+func TestFaultErrors(t *testing.T) {
+	m := manager(t, 6, 2)
+	if _, err := m.Fault(-1); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, err := m.Fault(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fault(0); err == nil {
+		t.Fatal("double fault accepted")
+	}
+	if _, err := m.Repair(1); err == nil {
+		t.Fatal("repair of healthy node accepted")
+	}
+}
+
+func TestBeyondBudgetRollsBack(t *testing.T) {
+	sol, _ := construct.Design(4, 1)
+	m, err := reconfig.New(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := sol.Graph.InputTerminals() // k+1 = 2 terminals
+	if _, err := m.Fault(ins[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := append(graph.Path(nil), m.Pipeline()...)
+	if _, err := m.Fault(ins[1]); err == nil {
+		t.Fatal("no error with all inputs dead")
+	}
+	// Rolled back: previous pipeline still valid, fault not recorded.
+	if m.Faults().Contains(ins[1]) {
+		t.Fatal("failed fault not rolled back")
+	}
+	mustValid(t, m, sol.Graph)
+	if len(before) != len(m.Pipeline()) {
+		t.Fatal("pipeline replaced despite failure")
+	}
+}
+
+func TestRandomSoakAlwaysValid(t *testing.T) {
+	// Fault/repair churn across several designs; every intermediate
+	// pipeline must be a valid full-coverage pipeline.
+	for _, c := range []struct{ n, k int }{{10, 2}, {14, 3}, {22, 4}, {40, 4}} {
+		sol, err := construct.Design(c.n, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := reconfig.New(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(c.n)))
+		for step := 0; step < 300; step++ {
+			if m.Faults().Count() < c.k && rng.Intn(2) == 0 {
+				v := rng.Intn(sol.Graph.NumNodes())
+				if !m.Faults().Contains(v) {
+					if _, err := m.Fault(v); err != nil {
+						t.Fatalf("(%d,%d) step %d: %v", c.n, c.k, step, err)
+					}
+				}
+			} else if m.Faults().Count() > 0 {
+				fs := m.Faults().Slice()
+				if _, err := m.Repair(fs[rng.Intn(len(fs))]); err != nil {
+					t.Fatalf("(%d,%d) step %d: %v", c.n, c.k, step, err)
+				}
+			}
+			mustValid(t, m, sol.Graph)
+		}
+		st := m.Stats()
+		total := st.NoChange + st.Splice + st.Rewire + st.EndpointSwap + st.Insert + st.FullRemap
+		if total == 0 {
+			t.Fatalf("(%d,%d): no repairs recorded", c.n, c.k)
+		}
+		// Local tactics must carry a meaningful share.
+		local := st.Splice + st.Rewire + st.EndpointSwap + st.Insert + st.NoChange
+		if local == 0 {
+			t.Errorf("(%d,%d): every repair was a full remap: %+v", c.n, c.k, st)
+		}
+	}
+}
+
+func TestTacticString(t *testing.T) {
+	names := map[reconfig.Tactic]string{
+		reconfig.NoChange: "no-change", reconfig.Splice: "splice",
+		reconfig.Rewire: "rewire", reconfig.EndpointSwap: "endpoint-swap",
+		reconfig.Insert: "insert", reconfig.FullRemap: "full-remap",
+		reconfig.Tactic(77): "tactic(77)",
+	}
+	for tac, want := range names {
+		if tac.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tac, tac.String(), want)
+		}
+	}
+}

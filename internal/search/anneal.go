@@ -1,0 +1,331 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gdpn/internal/graph"
+)
+
+// FindOptions tunes the randomized search.
+type FindOptions struct {
+	// Restarts is the number of random initial candidates (default 200).
+	Restarts int
+	// Moves is the local-search move budget per restart (default 400).
+	Moves int
+	// FailCap caps failure counting per evaluation (default 24): scores
+	// are compared, not reported, so counting stops early.
+	FailCap int
+}
+
+func (o *FindOptions) fill() {
+	if o.Restarts <= 0 {
+		o.Restarts = 200
+	}
+	if o.Moves <= 0 {
+		o.Moves = 400
+	}
+	if o.FailCap <= 0 {
+		o.FailCap = 24
+	}
+}
+
+// Find searches for one verified standard solution matching the spec using
+// random degree-feasible candidates refined by hill-climbing over
+// degree-preserving edge swaps and terminal moves. Deterministic per seed.
+// This is the procedure that derived the frozen special solutions in
+// internal/construct (Theorems 3.15/3.16); it returns an error when the
+// budget is exhausted, never a wrong graph (every returned graph has been
+// exhaustively verified).
+func Find(spec Spec, seed int64, opts FindOptions) (*graph.Graph, error) {
+	opts.fill()
+	rng := rand.New(rand.NewSource(seed))
+	ev := newEvaluator(spec)
+
+	// Collect feasible degree vectors once.
+	var degVecs [][]int
+	degreeVectors(spec, func(deg []int) bool {
+		if graphical(deg) {
+			degVecs = append(degVecs, append([]int(nil), deg...))
+		}
+		return true
+	})
+	if len(degVecs) == 0 {
+		return nil, fmt.Errorf("search: no graphical degree vector for %s", spec)
+	}
+
+	for restart := 0; restart < opts.Restarts; restart++ {
+		deg := degVecs[rng.Intn(len(degVecs))]
+		cand := randomCandidate(spec, deg, rng)
+		if cand == nil {
+			continue
+		}
+		g := cand.Build()
+		best := ev.score(g, opts.FailCap)
+		if best == 0 && ev.isSolution(g) {
+			return g, nil
+		}
+		for move := 0; move < opts.Moves && best > 0; move++ {
+			next := cand.neighbor(rng)
+			if next == nil {
+				continue
+			}
+			ng := next.Build()
+			sc := ev.score(ng, opts.FailCap)
+			// Hill-climb with sideways moves; occasional uphill escape.
+			if sc < best || (sc == best && rng.Intn(2) == 0) || rng.Intn(50) == 0 {
+				cand, best = next, sc
+				if best == 0 {
+					final := cand.Build()
+					if ev.isSolution(final) {
+						return final, nil
+					}
+					best = ev.score(final, opts.FailCap)
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("search: no solution found for %s within budget", spec)
+}
+
+// randomCandidate builds a random simple graph realizing deg (Havel–Hakimi
+// then randomizing edge swaps) and a random feasible terminal placement.
+func randomCandidate(spec Spec, deg []int, rng *rand.Rand) *Candidate {
+	P := spec.Procs()
+	adj := havelHakimi(deg)
+	if adj == nil {
+		return nil
+	}
+	shuffleEdges(adj, rng, 4*P)
+
+	procDeg := make([]int, P)
+	for a := range adj {
+		for b := range adj[a] {
+			if adj[a][b] {
+				procDeg[a]++
+			}
+		}
+	}
+	in, out := randomTerminals(spec, procDeg, rng)
+	if in == nil {
+		return nil
+	}
+	return &Candidate{Spec: spec, ProcAdj: adj, In: in, Out: out}
+}
+
+// randomTerminals distributes k+1 input and k+1 output terminals randomly,
+// honoring the per-processor bounds minT/maxT implied by the spec.
+func randomTerminals(spec Spec, procDeg []int, rng *rand.Rand) (in, out []int) {
+	P := spec.Procs()
+	in = make([]int, P)
+	out = make([]int, P)
+	total := make([]int, P)
+	minT := make([]int, P)
+	maxT := make([]int, P)
+	need := 0
+	for p := 0; p < P; p++ {
+		minT[p] = spec.K + 2 - procDeg[p]
+		if minT[p] < 0 {
+			minT[p] = 0
+		}
+		maxT[p] = spec.MaxDegree - procDeg[p]
+		if maxT[p] < minT[p] {
+			return nil, nil
+		}
+		need += minT[p]
+	}
+	if need > 2*(spec.K+1) {
+		return nil, nil
+	}
+	// Mandatory terminals first, then the remainder uniformly.
+	slots := 2 * (spec.K + 1)
+	for p := 0; p < P; p++ {
+		total[p] = minT[p]
+		slots -= minT[p]
+	}
+	for ; slots > 0; slots-- {
+		cands := make([]int, 0, P)
+		for p := 0; p < P; p++ {
+			if total[p] < maxT[p] {
+				cands = append(cands, p)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, nil
+		}
+		total[cands[rng.Intn(len(cands))]]++
+	}
+	// Split totals into inputs/outputs: pick k+1 terminal slots for inputs.
+	type slot struct{ proc int }
+	var all []slot
+	for p := 0; p < P; p++ {
+		for t := 0; t < total[p]; t++ {
+			all = append(all, slot{p})
+		}
+	}
+	perm := randPerm(rng, len(all))
+	for i, idx := range perm {
+		if i < spec.K+1 {
+			in[all[idx].proc]++
+		} else {
+			out[all[idx].proc]++
+		}
+	}
+	return in, out
+}
+
+// neighbor returns a random local modification of the candidate: either a
+// degree-preserving 2-edge swap or a terminal relocation. Returns nil when
+// the sampled move is inapplicable.
+func (c *Candidate) neighbor(rng *rand.Rand) *Candidate {
+	n := c.clone()
+	if rng.Intn(3) == 0 {
+		if !n.moveTerminal(rng) {
+			return nil
+		}
+		return n
+	}
+	if !n.swapEdges(rng) {
+		return nil
+	}
+	return n
+}
+
+func (c *Candidate) clone() *Candidate {
+	P := c.Spec.Procs()
+	adj := make([][]bool, P)
+	for i := range adj {
+		adj[i] = append([]bool(nil), c.ProcAdj[i]...)
+	}
+	return &Candidate{
+		Spec:    c.Spec,
+		ProcAdj: adj,
+		In:      append([]int(nil), c.In...),
+		Out:     append([]int(nil), c.Out...),
+	}
+}
+
+// swapEdges performs a random 2-edge swap (a,b),(x,y) -> (a,x),(b,y),
+// preserving all degrees and simplicity.
+func (c *Candidate) swapEdges(rng *rand.Rand) bool {
+	type edge struct{ a, b int }
+	var edges []edge
+	P := c.Spec.Procs()
+	for a := 0; a < P; a++ {
+		for b := a + 1; b < P; b++ {
+			if c.ProcAdj[a][b] {
+				edges = append(edges, edge{a, b})
+			}
+		}
+	}
+	for attempt := 0; attempt < 30; attempt++ {
+		e1 := edges[rng.Intn(len(edges))]
+		e2 := edges[rng.Intn(len(edges))]
+		a, b, x, y := e1.a, e1.b, e2.a, e2.b
+		if rng.Intn(2) == 0 {
+			x, y = y, x
+		}
+		if a == x || a == y || b == x || b == y {
+			continue
+		}
+		if c.ProcAdj[a][x] || c.ProcAdj[b][y] {
+			continue
+		}
+		c.ProcAdj[a][b], c.ProcAdj[b][a] = false, false
+		c.ProcAdj[x][y], c.ProcAdj[y][x] = false, false
+		c.ProcAdj[a][x], c.ProcAdj[x][a] = true, true
+		c.ProcAdj[b][y], c.ProcAdj[y][b] = true, true
+		return true
+	}
+	return false
+}
+
+// moveTerminal relocates one terminal between processors, honoring the
+// degree bounds.
+func (c *Candidate) moveTerminal(rng *rand.Rand) bool {
+	P := c.Spec.Procs()
+	procDeg := make([]int, P)
+	for a := 0; a < P; a++ {
+		for b := 0; b < P; b++ {
+			if c.ProcAdj[a][b] {
+				procDeg[a]++
+			}
+		}
+	}
+	for attempt := 0; attempt < 30; attempt++ {
+		from := rng.Intn(P)
+		to := rng.Intn(P)
+		if from == to {
+			continue
+		}
+		kind := rng.Intn(2)
+		src := c.In
+		if kind == 1 {
+			src = c.Out
+		}
+		if src[from] == 0 {
+			continue
+		}
+		// Bounds: source keeps ≥ minT, destination stays ≤ maxT.
+		tFrom := c.In[from] + c.Out[from] - 1
+		tTo := c.In[to] + c.Out[to] + 1
+		if procDeg[from]+tFrom < c.Spec.K+2 {
+			continue
+		}
+		if procDeg[to]+tTo > c.Spec.MaxDegree {
+			continue
+		}
+		src[from]--
+		src[to]++
+		return true
+	}
+	return false
+}
+
+// havelHakimi constructs one simple graph with the given degree sequence,
+// or nil if the sequence is not graphical.
+func havelHakimi(deg []int) [][]bool {
+	P := len(deg)
+	adj := make([][]bool, P)
+	for i := range adj {
+		adj[i] = make([]bool, P)
+	}
+	type vd struct{ v, d int }
+	rem := make([]vd, P)
+	for i, d := range deg {
+		rem[i] = vd{i, d}
+	}
+	for {
+		sort.Slice(rem, func(i, j int) bool { return rem[i].d > rem[j].d })
+		if rem[0].d == 0 {
+			return adj
+		}
+		d := rem[0].d
+		if d >= P {
+			return nil
+		}
+		rem[0].d = 0
+		for i := 1; i <= d; i++ {
+			if i >= len(rem) || rem[i].d == 0 {
+				return nil
+			}
+			rem[i].d--
+			adj[rem[0].v][rem[i].v] = true
+			adj[rem[i].v][rem[0].v] = true
+		}
+	}
+}
+
+// graphical reports whether deg has a simple-graph realization.
+func graphical(deg []int) bool { return havelHakimi(deg) != nil }
+
+// shuffleEdges applies random degree-preserving swaps to randomize the
+// Havel–Hakimi graph.
+func shuffleEdges(adj [][]bool, rng *rand.Rand, swaps int) {
+	c := Candidate{Spec: Spec{MaxDegree: 1 << 20}, ProcAdj: adj}
+	c.Spec.N = len(adj)
+	for i := 0; i < swaps; i++ {
+		c.swapEdges(rng)
+	}
+}

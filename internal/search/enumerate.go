@@ -1,0 +1,146 @@
+package search
+
+import (
+	"gdpn/internal/graph"
+)
+
+// ExhaustiveResult reports a complete enumeration of the standard candidate
+// space for a Spec.
+type ExhaustiveResult struct {
+	Spec Spec
+	// ProcGraphs counts the processor subgraphs enumerated (labeled, with
+	// vertex 0 carrying the largest degree).
+	ProcGraphs int64
+	// Candidates counts (processor graph, terminal placement) pairs that
+	// passed the necessary conditions and were submitted to verification.
+	Candidates int64
+	// Solutions holds the verified solutions, deduplicated up to
+	// kind-preserving isomorphism.
+	Solutions []*graph.Graph
+}
+
+// None reports that the enumeration proved no solution exists.
+func (r *ExhaustiveResult) None() bool { return len(r.Solutions) == 0 }
+
+// Exhaustive enumerates EVERY standard candidate for the spec and decides
+// each with the exact solver. The enumeration is complete up to processor
+// relabeling (degree vectors are enumerated non-increasing, which any
+// candidate can be relabeled to match, and terminal placements are
+// enumerated over all assignments), so:
+//
+//   - None() is a machine proof that no standard solution with maximum
+//     processor degree ≤ spec.MaxDegree exists — this re-proves Lemma 3.14
+//     for (n=5, k=2, Δ=4);
+//   - len(Solutions) == 1 re-proves the uniqueness claims of Lemmas 3.7
+//     and 3.9 for concrete k.
+//
+// limit > 0 stops after that many solutions (useful when only existence is
+// wanted); limit = 0 enumerates everything.
+//
+// The candidate space is exponential in the number of processors; the
+// intended regime is n+k ≤ 10 (all uses in the paper's scope fit).
+func Exhaustive(spec Spec, limit int) *ExhaustiveResult {
+	res := &ExhaustiveResult{Spec: spec}
+	ev := newEvaluator(spec)
+	P := spec.Procs()
+
+	degreeVectors(spec, func(deg []int) bool {
+		enumerateGraphs(P, deg, func(adj [][]bool) bool {
+			res.ProcGraphs++
+			procDeg := make([]int, P)
+			for a := 0; a < P; a++ {
+				for b := 0; b < P; b++ {
+					if adj[a][b] {
+						procDeg[a]++
+					}
+				}
+			}
+			cont := true
+			feasibleTerminalVectors(spec, procDeg, func(in, out []int) bool {
+				res.Candidates++
+				cand := Candidate{Spec: spec, ProcAdj: adj, In: append([]int(nil), in...), Out: append([]int(nil), out...)}
+				g := cand.Build()
+				if !ev.isSolution(g) {
+					return true
+				}
+				for _, s := range res.Solutions {
+					if s.Fingerprint() == g.Fingerprint() && graph.IsomorphicBrute(s, g) {
+						return true // already known up to isomorphism
+					}
+				}
+				res.Solutions = append(res.Solutions, g)
+				if limit > 0 && len(res.Solutions) >= limit {
+					cont = false
+					return false
+				}
+				return true
+			})
+			return cont
+		})
+		return res.ProcGraphs >= 0 && (limit == 0 || len(res.Solutions) < limit)
+	})
+	return res
+}
+
+// enumerateGraphs enumerates every labeled simple graph on P vertices in
+// which vertex v has exactly deg[v] neighbors. fn receives a shared
+// adjacency matrix; it must not retain it. Returning false stops the
+// enumeration.
+func enumerateGraphs(P int, deg []int, fn func(adj [][]bool) bool) {
+	adj := make([][]bool, P)
+	for i := range adj {
+		adj[i] = make([]bool, P)
+	}
+	rem := append([]int(nil), deg...)
+
+	// Process vertices in order; vertex v picks its neighbor set among
+	// {v+1..P-1} to satisfy rem[v] (edges to earlier vertices were already
+	// decided). Standard degree-constrained backtracking with a capacity
+	// prune: rem[v] cannot exceed the number of later vertices with
+	// remaining capacity.
+	var pick func(v, next, need int) bool
+	var vertex func(v int) bool
+	vertex = func(v int) bool {
+		if v == P {
+			return fn(adj)
+		}
+		if rem[v] == 0 {
+			return vertex(v + 1)
+		}
+		return pick(v, v+1, rem[v])
+	}
+	pick = func(v, next, need int) bool {
+		if need == 0 {
+			return vertex(v + 1)
+		}
+		// Capacity prune: not enough candidates left.
+		avail := 0
+		for j := next; j < P; j++ {
+			if rem[j] > 0 {
+				avail++
+			}
+		}
+		if avail < need {
+			return true
+		}
+		for j := next; j < P; j++ {
+			if rem[j] == 0 {
+				continue
+			}
+			adj[v][j], adj[j][v] = true, true
+			rem[v]--
+			rem[j]--
+			if !pick(v, j+1, need-1) {
+				adj[v][j], adj[j][v] = false, false
+				rem[v]++
+				rem[j]++
+				return false
+			}
+			adj[v][j], adj[j][v] = false, false
+			rem[v]++
+			rem[j]++
+		}
+		return true
+	}
+	vertex(0)
+}

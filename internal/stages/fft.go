@@ -1,0 +1,156 @@
+package stages
+
+import (
+	"fmt"
+	"math"
+)
+
+// FFT computes the radix-2 Cooley–Tukey fast Fourier transform. Frames are
+// zero-padded to the next power of two; the output frame interleaves
+// (re, im) pairs, so it has 2·N values for an N-point transform. Spectral
+// stages (SpectralGate) consume this layout and IFFT inverts it.
+type FFT struct {
+	out []float64
+}
+
+// NewFFT returns an FFT stage.
+func NewFFT() *FFT { return &FFT{} }
+
+func (f *FFT) Name() string { return "fft" }
+
+// Reset implements Stage (the FFT is stateless).
+func (f *FFT) Reset() {}
+
+func (f *FFT) Process(in []float64) []float64 {
+	n := nextPow2(len(in))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	copy(re, in)
+	fftInPlace(re, im, false)
+	if cap(f.out) < 2*n {
+		f.out = make([]float64, 2*n)
+	}
+	out := f.out[:2*n]
+	for i := 0; i < n; i++ {
+		out[2*i] = re[i]
+		out[2*i+1] = im[i]
+	}
+	return out
+}
+
+// IFFT inverts the interleaved spectrum produced by FFT, returning the
+// time-domain frame (length N).
+type IFFT struct {
+	out []float64
+}
+
+// NewIFFT returns an inverse-FFT stage.
+func NewIFFT() *IFFT { return &IFFT{} }
+
+func (f *IFFT) Name() string { return "ifft" }
+
+// Reset implements Stage.
+func (f *IFFT) Reset() {}
+
+func (f *IFFT) Process(in []float64) []float64 {
+	if len(in)%2 != 0 {
+		panic("stages: IFFT input must interleave (re, im) pairs")
+	}
+	n := len(in) / 2
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("stages: IFFT length %d is not a power of two", n))
+	}
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := 0; i < n; i++ {
+		re[i] = in[2*i]
+		im[i] = in[2*i+1]
+	}
+	fftInPlace(re, im, true)
+	if cap(f.out) < n {
+		f.out = make([]float64, n)
+	}
+	out := f.out[:n]
+	copy(out, re)
+	return out
+}
+
+// SpectralGate zeroes every frequency bin whose magnitude falls below
+// Threshold — the classic denoising step between an FFT and an IFFT.
+type SpectralGate struct {
+	Threshold float64
+	out       []float64
+}
+
+func (s *SpectralGate) Name() string { return "spectral-gate" }
+
+// Reset implements Stage.
+func (s *SpectralGate) Reset() {}
+
+func (s *SpectralGate) Process(in []float64) []float64 {
+	if cap(s.out) < len(in) {
+		s.out = make([]float64, len(in))
+	}
+	out := s.out[:len(in)]
+	copy(out, in)
+	for i := 0; i+1 < len(out); i += 2 {
+		mag := math.Hypot(out[i], out[i+1])
+		if mag < s.Threshold {
+			out[i], out[i+1] = 0, 0
+		}
+	}
+	return out
+}
+
+// fftInPlace runs an iterative radix-2 FFT (or inverse) over re/im, whose
+// length must be a power of two.
+func fftInPlace(re, im []float64, inverse bool) {
+	n := len(re)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for i := 0; i < n; i += length {
+			cwRe, cwIm := 1.0, 0.0
+			for j := 0; j < length/2; j++ {
+				uRe, uIm := re[i+j], im[i+j]
+				vRe := re[i+j+length/2]*cwRe - im[i+j+length/2]*cwIm
+				vIm := re[i+j+length/2]*cwIm + im[i+j+length/2]*cwRe
+				re[i+j], im[i+j] = uRe+vRe, uIm+vIm
+				re[i+j+length/2], im[i+j+length/2] = uRe-vRe, uIm-vIm
+				cwRe, cwIm = cwRe*wRe-cwIm*wIm, cwRe*wIm+cwIm*wRe
+			}
+		}
+	}
+	if inverse {
+		for i := range re {
+			re[i] /= float64(n)
+			im[i] /= float64(n)
+		}
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

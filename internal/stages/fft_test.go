@@ -1,0 +1,184 @@
+package stages
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(in []float64) (re, im []float64) {
+	n := len(in)
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for k := 0; k < n; k++ {
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			re[k] += in[t] * math.Cos(ang)
+			im[k] += in[t] * math.Sin(ang)
+		}
+	}
+	return re, im
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.NormFloat64()
+		}
+		out := NewFFT().Process(in)
+		wantRe, wantIm := naiveDFT(in)
+		for k := 0; k < n; k++ {
+			if math.Abs(out[2*k]-wantRe[k]) > 1e-9 || math.Abs(out[2*k+1]-wantIm[k]) > 1e-9 {
+				t.Fatalf("n=%d bin %d: got (%v,%v), want (%v,%v)",
+					n, k, out[2*k], out[2*k+1], wantRe[k], wantIm[k])
+			}
+		}
+	}
+}
+
+func TestFFTImpulseIsFlat(t *testing.T) {
+	in := make([]float64, 8)
+	in[0] = 1
+	out := NewFFT().Process(in)
+	for k := 0; k < 8; k++ {
+		if math.Abs(out[2*k]-1) > 1e-12 || math.Abs(out[2*k+1]) > 1e-12 {
+			t.Fatalf("impulse spectrum not flat at bin %d: (%v, %v)", k, out[2*k], out[2*k+1])
+		}
+	}
+}
+
+func TestFFTSinglePureTone(t *testing.T) {
+	const n, freq = 32, 5
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = math.Cos(2 * math.Pi * freq * float64(i) / n)
+	}
+	out := NewFFT().Process(in)
+	for k := 0; k < n; k++ {
+		mag := math.Hypot(out[2*k], out[2*k+1])
+		want := 0.0
+		if k == freq || k == n-freq {
+			want = n / 2
+		}
+		if math.Abs(mag-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude %v, want %v", k, mag, want)
+		}
+	}
+}
+
+func TestFFTZeroPadsToPow2(t *testing.T) {
+	out := NewFFT().Process(make([]float64, 5))
+	if len(out) != 16 { // next pow2 of 5 is 8 → 16 interleaved values
+		t.Fatalf("len = %d, want 16", len(out))
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]float64, 64)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	spec := NewFFT().Process(in)
+	back := NewIFFT().Process(spec)
+	for i := range in {
+		if math.Abs(back[i]-in[i]) > 1e-9 {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, back[i], in[i])
+		}
+	}
+}
+
+func TestIFFTValidation(t *testing.T) {
+	for _, in := range [][]float64{make([]float64, 3), make([]float64, 12)} {
+		in := in
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("len %d accepted", len(in))
+				}
+			}()
+			NewIFFT().Process(in)
+		}()
+	}
+}
+
+func TestSpectralGateDenoises(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(3))
+	clean := make([]float64, n)
+	noisy := make([]float64, n)
+	for i := range clean {
+		clean[i] = 10 * math.Sin(2*math.Pi*4*float64(i)/n)
+		noisy[i] = clean[i] + 0.05*rng.NormFloat64()
+	}
+	chain := &Chain{Stages: []Stage{NewFFT(), &SpectralGate{Threshold: 20}, NewIFFT()}}
+	out := chain.Process(noisy)
+	// Residual error vs the clean tone must shrink versus the raw noise.
+	var errBefore, errAfter float64
+	for i := range clean {
+		errBefore += (noisy[i] - clean[i]) * (noisy[i] - clean[i])
+		errAfter += (out[i] - clean[i]) * (out[i] - clean[i])
+	}
+	if errAfter >= errBefore {
+		t.Fatalf("gate did not denoise: before %v, after %v", errBefore, errAfter)
+	}
+}
+
+// Property: Parseval — energy in time equals energy in frequency / n.
+func TestQuickParseval(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				raw[i] = 1 // sanitize extreme quick-generated values
+			}
+		}
+		spec := NewFFT().Process(raw)
+		n := len(spec) / 2
+		var timeE, freqE float64
+		for _, v := range raw {
+			timeE += v * v
+		}
+		for k := 0; k < n; k++ {
+			freqE += spec[2*k]*spec[2*k] + spec[2*k+1]*spec[2*k+1]
+		}
+		freqE /= float64(n)
+		scale := math.Max(1, timeE)
+		return math.Abs(timeE-freqE)/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FFT is linear.
+func TestQuickFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 16
+		a := make([]float64, n)
+		b := make([]float64, n)
+		sum := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		fa := NewFFT().Process(a)
+		fb := NewFFT().Process(b)
+		fs := NewFFT().Process(sum)
+		for i := range fs {
+			if math.Abs(fs[i]-(2*fa[i]+3*fb[i])) > 1e-9 {
+				t.Fatalf("linearity violated at %d", i)
+			}
+		}
+	}
+}

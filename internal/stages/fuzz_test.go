@@ -1,0 +1,64 @@
+package stages
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLZ78RoundTrip checks losslessness over arbitrary byte streams split
+// at an arbitrary frame boundary.
+func FuzzLZ78RoundTrip(f *testing.F) {
+	f.Add([]byte("abracadabra"), uint8(3))
+	f.Add([]byte{0, 255, 0, 255, 128}, uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, msg []byte, splitRaw uint8) {
+		in := make([]float64, len(msg))
+		for i, b := range msg {
+			in[i] = float64(b)
+		}
+		split := 0
+		if len(in) > 0 {
+			split = int(splitRaw) % (len(in) + 1)
+		}
+		enc := NewLZ78(0)
+		stream := append([]float64(nil), enc.Process(in[:split])...)
+		stream = append(stream, enc.Process(in[split:])...)
+		stream = append(stream, enc.Flush()...)
+		got, err := LZ78Decode(stream, 0)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if string(got) != string(msg) {
+			t.Fatalf("round trip: %q != %q", got, msg)
+		}
+	})
+}
+
+// FuzzFFTInverse checks FFT∘IFFT is the identity (after pow-2 padding) for
+// arbitrary finite inputs.
+func FuzzFFTInverse(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		in := make([]float64, len(raw))
+		for i, b := range raw {
+			in[i] = float64(b) - 128
+		}
+		spec := NewFFT().Process(in)
+		back := NewIFFT().Process(spec)
+		for i := range in {
+			if math.Abs(back[i]-in[i]) > 1e-6 {
+				t.Fatalf("inverse differs at %d: %v vs %v", i, back[i], in[i])
+			}
+		}
+		// Padding region must be ~zero.
+		for i := len(in); i < len(back); i++ {
+			if math.Abs(back[i]) > 1e-6 {
+				t.Fatalf("padding not preserved at %d: %v", i, back[i])
+			}
+		}
+	})
+}

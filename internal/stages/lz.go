@@ -1,0 +1,100 @@
+package stages
+
+import "fmt"
+
+// LZ78 is a streaming textual-substitution compressor over quantized
+// symbol streams — the 1D data-compression workload of §1 ([19, 22]: the
+// massively parallel dictionary compressors with linear communication
+// structure). Each input sample is truncated to an integer symbol; the
+// output frame contains one (dictionary index, symbol) pair — encoded as
+// two consecutive float64 values — per emitted phrase.
+//
+// Decode inverts the stream exactly, which the tests use to prove
+// losslessness.
+type LZ78 struct {
+	MaxDict int
+	dict    map[string]int
+	cur     string
+	out     []float64
+}
+
+// NewLZ78 returns a streaming LZ78 compressor; maxDict bounds dictionary
+// growth (0 = unbounded).
+func NewLZ78(maxDict int) *LZ78 {
+	l := &LZ78{MaxDict: maxDict}
+	l.Reset()
+	return l
+}
+
+func (l *LZ78) Name() string { return "lz78" }
+
+// Reset clears the dictionary and any pending phrase.
+func (l *LZ78) Reset() {
+	l.dict = make(map[string]int)
+	l.cur = ""
+}
+
+func (l *LZ78) Process(in []float64) []float64 {
+	l.out = l.out[:0]
+	for _, x := range in {
+		sym := byte(int(x) & 0xff)
+		// string([]byte{...}) keeps the raw byte: string(sym) would UTF-8
+		// encode values ≥ 0x80 into two bytes and corrupt phrase keys.
+		next := l.cur + string([]byte{sym})
+		if _, ok := l.dict[next]; ok {
+			l.cur = next
+			continue
+		}
+		// Emit (index of cur, sym) and extend the dictionary.
+		idx := 0
+		if l.cur != "" {
+			idx = l.dict[l.cur]
+		}
+		l.out = append(l.out, float64(idx), float64(sym))
+		if l.MaxDict == 0 || len(l.dict) < l.MaxDict {
+			l.dict[next] = len(l.dict) + 1
+		}
+		l.cur = ""
+	}
+	return l.out
+}
+
+// Flush emits the pending phrase, if any, as a final (index, -1) pair.
+// Call once at end of stream before decoding.
+func (l *LZ78) Flush() []float64 {
+	if l.cur == "" {
+		return nil
+	}
+	idx := l.dict[l.cur]
+	l.cur = ""
+	return []float64{float64(idx), -1}
+}
+
+// LZ78Decode inverts a complete LZ78 stream (the concatenation of all
+// Process outputs plus Flush). maxDict must match the encoder's setting so
+// the decoder's dictionary growth mirrors the encoder's. It returns the
+// symbol stream.
+func LZ78Decode(stream []float64, maxDict int) ([]byte, error) {
+	if len(stream)%2 != 0 {
+		return nil, fmt.Errorf("stages: LZ78 stream has odd length %d", len(stream))
+	}
+	dict := []string{""}
+	var out []byte
+	for i := 0; i < len(stream); i += 2 {
+		idx := int(stream[i])
+		if idx < 0 || idx >= len(dict) {
+			return nil, fmt.Errorf("stages: LZ78 index %d out of range (dict %d)", idx, len(dict))
+		}
+		phrase := dict[idx]
+		if stream[i+1] < 0 { // flush marker: phrase without new symbol
+			out = append(out, phrase...)
+			continue
+		}
+		phrase += string([]byte{byte(int(stream[i+1]) & 0xff)})
+		out = append(out, phrase...)
+		if maxDict == 0 || len(dict)-1 < maxDict {
+			dict = append(dict, phrase)
+		}
+	}
+	return out, nil
+}

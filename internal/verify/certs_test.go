@@ -1,0 +1,117 @@
+package verify_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gdpn/internal/combin"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/verify"
+)
+
+func certified(t *testing.T, n, k int) (*verify.CertificateSet, *construct.Solution) {
+	t.Helper()
+	sol, err := construct.Design(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := verify.Certify(sol.Graph, k, embed.Options{Layout: sol.Layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, sol
+}
+
+func TestCertifyAndReplay(t *testing.T) {
+	cs, sol := certified(t, 6, 2)
+	want := combin.CountUpTo(sol.Graph.NumNodes(), 2)
+	if int64(len(cs.Certs)) != want {
+		t.Fatalf("%d certificates, want %d", len(cs.Certs), want)
+	}
+	if err := cs.Replay(sol.Graph); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifyFailsOnNonSolution(t *testing.T) {
+	// A bare line is not 1-GD; Certify must refuse with a counterexample.
+	g := construct.G1(1).Clone()
+	g.RemoveEdge(0, 1) // break the processor clique edge
+	if _, err := verify.Certify(g, 1, embed.Options{}); err == nil {
+		t.Fatal("certified a non-solution")
+	}
+}
+
+func TestReplayRejectsTampering(t *testing.T) {
+	cs, sol := certified(t, 4, 1)
+
+	// Tamper 1: drop a certificate.
+	dropped := *cs
+	dropped.Certs = cs.Certs[1:]
+	if err := dropped.Replay(sol.Graph); err == nil || !strings.Contains(err.Error(), "certificates") {
+		t.Fatalf("dropped certificate accepted: %v", err)
+	}
+
+	// Tamper 2: duplicate one (count right, coverage wrong).
+	dup := *cs
+	dup.Certs = append([]verify.Certificate(nil), cs.Certs...)
+	dup.Certs[1] = dup.Certs[2]
+	if err := dup.Replay(sol.Graph); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicated certificate accepted: %v", err)
+	}
+
+	// Tamper 3: corrupt a witness path.
+	bad := *cs
+	bad.Certs = append([]verify.Certificate(nil), cs.Certs...)
+	w := append([]int(nil), bad.Certs[0].Pipeline...)
+	w[1], w[2] = w[2], w[1]
+	bad.Certs[0] = verify.Certificate{Faults: bad.Certs[0].Faults, Pipeline: w}
+	if err := bad.Replay(sol.Graph); err == nil {
+		t.Fatal("corrupted witness accepted")
+	}
+
+	// Tamper 4: replay against a different graph.
+	other, err := construct.Design(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Replay(other.Graph); err == nil {
+		t.Fatal("wrong graph accepted")
+	}
+}
+
+func TestReplayRejectsBadFaultLists(t *testing.T) {
+	cs, sol := certified(t, 4, 1)
+	oob := *cs
+	oob.Certs = append([]verify.Certificate(nil), cs.Certs...)
+	oob.Certs[0] = verify.Certificate{Faults: []int{999}, Pipeline: cs.Certs[0].Pipeline}
+	if err := oob.Replay(sol.Graph); err == nil {
+		t.Fatal("out-of-range fault accepted")
+	}
+	toomany := *cs
+	toomany.Certs = append([]verify.Certificate(nil), cs.Certs...)
+	toomany.Certs[0] = verify.Certificate{Faults: []int{0, 1}, Pipeline: cs.Certs[0].Pipeline}
+	if err := toomany.Replay(sol.Graph); err == nil {
+		t.Fatal("oversized fault set accepted")
+	}
+}
+
+func TestCertificateRoundTripJSON(t *testing.T) {
+	cs, sol := certified(t, 5, 1)
+	var buf bytes.Buffer
+	if err := cs.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := verify.ReadCertificates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Replay(sol.Graph); err != nil {
+		t.Fatalf("round-tripped certificates fail replay: %v", err)
+	}
+	if _, err := verify.ReadCertificates(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"fmt"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+)
+
+// DegreeLowerBound returns the paper's lower bound on the maximum processor
+// degree of any standard k-gracefully-degradable graph for n nodes. It is
+// construct.DegreeLowerBound re-exported for verification call sites.
+func DegreeLowerBound(n, k int) int { return construct.DegreeLowerBound(n, k) }
+
+// CheckStandard verifies that g is a standard graph for (n, k): node-optimal
+// (exactly k+1 input terminals, k+1 output terminals, n+k processors) with
+// every terminal of degree 1.
+func CheckStandard(g *graph.Graph, n, k int) error {
+	if got := g.CountKind(graph.Processor); got != n+k {
+		return fmt.Errorf("%d processors, want n+k = %d", got, n+k)
+	}
+	if got := g.CountKind(graph.InputTerminal); got != k+1 {
+		return fmt.Errorf("%d input terminals, want k+1 = %d", got, k+1)
+	}
+	if got := g.CountKind(graph.OutputTerminal); got != k+1 {
+		return fmt.Errorf("%d output terminals, want k+1 = %d", got, k+1)
+	}
+	for _, t := range g.InputTerminals() {
+		if g.Degree(t) != 1 {
+			return fmt.Errorf("input terminal %d has degree %d, want 1", t, g.Degree(t))
+		}
+	}
+	for _, t := range g.OutputTerminals() {
+		if g.Degree(t) != 1 {
+			return fmt.Errorf("output terminal %d has degree %d, want 1", t, g.Degree(t))
+		}
+	}
+	return nil
+}
+
+// CheckNecessaryConditions verifies the degree conditions that Lemmas 3.1
+// and 3.4 prove must hold in ANY k-gracefully-degradable graph: every
+// processor has degree ≥ k+2, and (when n > 1) at least k+1 processor
+// neighbors. Useful both as a sanity check on constructions and as an
+// early-exit filter in the search module.
+func CheckNecessaryConditions(g *graph.Graph, n, k int) error {
+	for _, p := range g.Processors() {
+		if d := g.Degree(p); d < k+2 {
+			return fmt.Errorf("processor %d has degree %d < k+2 = %d (Lemma 3.1)", p, d, k+2)
+		}
+		if n > 1 {
+			if pn := g.ProcessorNeighborCount(p); pn < k+1 {
+				return fmt.Errorf("processor %d has %d processor neighbors < k+1 = %d (Lemma 3.4)", p, pn, k+1)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDegreeOptimal verifies that g attains the paper's lower bound on
+// maximum processor degree for (n, k).
+func CheckDegreeOptimal(g *graph.Graph, n, k int) error {
+	want := DegreeLowerBound(n, k)
+	if got := g.MaxProcessorDegree(); got != want {
+		return fmt.Errorf("max processor degree %d, degree-optimal is %d", got, want)
+	}
+	return nil
+}
+
+// CheckMerged verifies the fault-free-terminal model shape of §3: exactly
+// one input node and one output node, each of degree exactly k+1 (the
+// minimum possible: with fewer neighbors, a fault set containing all of
+// them would isolate the terminal).
+func CheckMerged(g *graph.Graph, n, k int) error {
+	if got := g.CountKind(graph.Processor); got != n+k {
+		return fmt.Errorf("%d processors, want n+k = %d", got, n+k)
+	}
+	ins, outs := g.InputTerminals(), g.OutputTerminals()
+	if len(ins) != 1 || len(outs) != 1 {
+		return fmt.Errorf("%d input and %d output nodes, want 1 and 1", len(ins), len(outs))
+	}
+	if d := g.Degree(ins[0]); d != k+1 {
+		return fmt.Errorf("input node degree %d, want k+1 = %d", d, k+1)
+	}
+	if d := g.Degree(outs[0]); d != k+1 {
+		return fmt.Errorf("output node degree %d, want k+1 = %d", d, k+1)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package verify_test
+
+import (
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/verify"
+)
+
+func TestRandomPartitionExact(t *testing.T) {
+	g := construct.G1(1)
+	for _, c := range []struct{ trials, workers int }{
+		{5, 4}, {1, 8}, {0, 3}, {7, 7}, {100, 3}, {3, 1},
+	} {
+		rep := verify.Random(g, 1, c.trials, 1, verify.Options{Workers: c.workers})
+		if rep.Checked != int64(c.trials) {
+			t.Errorf("trials=%d workers=%d: checked %d", c.trials, c.workers, rep.Checked)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package verify decides whether a graph is k-gracefully-degradable and
+// checks the paper's optimality conditions.
+//
+// The central entry points are:
+//
+//   - CheckPipeline — an O(|path|) certificate check that a returned path
+//     really is a pipeline for the given fault set; every solver result in
+//     the repository is re-validated through it, so solver bugs can cause
+//     false "not degradable" reports but never false "degradable" ones;
+//   - Exhaustive — enumerates every fault set of size ≤ k (in parallel,
+//     partitioned by subset rank) and searches each; a clean report is a
+//     machine proof of GD(G, k) for that instance;
+//   - Random — samples fault sets uniformly for instances whose fault-set
+//     space is too large to enumerate;
+//   - the optimality checkers in optimality.go, which encode the paper's
+//     lower bounds (Lemmas 3.1, 3.4, 3.5, 3.11, 3.14, Corollary 3.10).
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/combin"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+)
+
+// FaultUniverse selects which nodes may fail.
+type FaultUniverse int
+
+const (
+	// AllNodes is the paper's primary model: processors AND terminals fail.
+	AllNodes FaultUniverse = iota
+	// ProcessorsOnly is the merged-terminal model of §3, where the single
+	// input and output nodes are assumed fault-free.
+	ProcessorsOnly
+)
+
+// Options configures a verification run.
+type Options struct {
+	// Workers is the number of goroutines (default GOMAXPROCS).
+	Workers int
+	// Solver configures the per-worker embedding solver.
+	Solver embed.Options
+	// Universe selects the fault model (default AllNodes).
+	Universe FaultUniverse
+	// MaxRecorded caps how many failing fault sets are kept (default 16).
+	MaxRecorded int
+}
+
+// FaultSetRecord describes one fault set with an abnormal outcome.
+type FaultSetRecord struct {
+	Nodes []int
+	Err   string
+}
+
+// Report aggregates a verification run.
+type Report struct {
+	GraphName string
+	K         int
+	Checked   int64
+	// Failures are fault sets with NO pipeline: counterexamples to GD(G,k).
+	Failures []FaultSetRecord
+	// FailureCount counts all failures, including unrecorded ones.
+	FailureCount int64
+	// Unknowns are fault sets on which the solver exhausted its budget.
+	Unknowns     []FaultSetRecord
+	UnknownCount int64
+	// SolverBugs are fault sets where a solver returned an invalid
+	// pipeline (should be impossible; recorded rather than trusted).
+	SolverBugs []FaultSetRecord
+	Duration   time.Duration
+}
+
+// OK reports whether the run proves (exhaustive) or is consistent with
+// (random) k-graceful degradability: no failures, no unknowns, no bugs.
+func (r *Report) OK() bool {
+	return r.FailureCount == 0 && r.UnknownCount == 0 && len(r.SolverBugs) == 0
+}
+
+// String formats a one-line summary.
+func (r *Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("FAILED (%d failures, %d unknowns, %d solver bugs)",
+			r.FailureCount, r.UnknownCount, len(r.SolverBugs))
+	}
+	return fmt.Sprintf("%s k=%d: %d fault sets in %v: %s",
+		r.GraphName, r.K, r.Checked, r.Duration.Round(time.Millisecond), status)
+}
+
+// CheckPipeline verifies that path is a pipeline in g \ faults per the
+// paper's definition (§2): a path whose endpoints are a healthy input
+// terminal and a healthy output terminal (in either order) and whose
+// interior is exactly the set of ALL healthy processors. A nil error is a
+// complete certificate.
+func CheckPipeline(g *graph.Graph, faults bitset.Set, path graph.Path) error {
+	if len(path) < 3 {
+		return fmt.Errorf("pipeline too short: %d nodes", len(path))
+	}
+	if !path.Distinct() {
+		return fmt.Errorf("pipeline revisits a node")
+	}
+	if !path.IsWalk(g) {
+		return fmt.Errorf("pipeline uses a non-edge")
+	}
+	for _, v := range path {
+		if faults != nil && faults.Contains(v) {
+			return fmt.Errorf("pipeline visits faulty node %d", v)
+		}
+	}
+	first, last := path[0], path[len(path)-1]
+	kf, kl := g.Kind(first), g.Kind(last)
+	validEnds := (kf == graph.InputTerminal && kl == graph.OutputTerminal) ||
+		(kf == graph.OutputTerminal && kl == graph.InputTerminal)
+	if !validEnds {
+		return fmt.Errorf("pipeline endpoints are %v and %v; want one input and one output terminal", kf, kl)
+	}
+	healthy := 0
+	for _, p := range g.Processors() {
+		if faults == nil || !faults.Contains(p) {
+			healthy++
+		}
+	}
+	interior := 0
+	for _, v := range path[1 : len(path)-1] {
+		if g.Kind(v) != graph.Processor {
+			return fmt.Errorf("interior node %d is a %v, not a processor", v, g.Kind(v))
+		}
+		interior++
+	}
+	if interior != healthy {
+		return fmt.Errorf("pipeline uses %d processors; %d are healthy (graceful degradation requires all)", interior, healthy)
+	}
+	return nil
+}
+
+// Tolerates reports whether g tolerates the specific fault set: a pipeline
+// exists in g \ faults. The returned pipeline (if any) is certificate-checked.
+func Tolerates(g *graph.Graph, faults bitset.Set, opts embed.Options) (graph.Path, bool, error) {
+	r := embed.NewSolver(g, opts).Find(faults)
+	if r.Unknown {
+		return nil, false, fmt.Errorf("solver budget exhausted")
+	}
+	if !r.Found {
+		return nil, false, nil
+	}
+	if err := CheckPipeline(g, faults, r.Pipeline); err != nil {
+		return nil, false, fmt.Errorf("solver returned invalid pipeline: %w", err)
+	}
+	return r.Pipeline, true, nil
+}
+
+// Exhaustive checks every fault set of size ≤ k over the configured fault
+// universe. A Report with OK() == true is a machine proof of GD(G, k).
+func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
+	fillDefaults(&opts)
+	universe := universeNodes(g, opts.Universe)
+	rep := &Report{GraphName: g.Name(), K: k}
+	start := time.Now()
+
+	type chunk struct {
+		size     int
+		from, to int64 // rank range [from, to)
+	}
+	var chunks []chunk
+	for size := 0; size <= k && size <= len(universe); size++ {
+		total := combin.Binomial(len(universe), size)
+		per := total/int64(opts.Workers) + 1
+		for from := int64(0); from < total; from += per {
+			to := from + per
+			if to > total {
+				to = total
+			}
+			chunks = append(chunks, chunk{size, from, to})
+		}
+	}
+	work := make(chan chunk, len(chunks))
+	for _, c := range chunks {
+		work <- c
+	}
+	close(work)
+
+	results := make(chan *Report, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := &Report{}
+			solver := embed.NewSolver(g, opts.Solver)
+			faults := bitset.New(g.NumNodes())
+			sub := make([]int, k)
+			for c := range work {
+				ss := sub[:c.size]
+				if c.size > 0 {
+					combin.Unrank(len(universe), c.size, c.from, ss)
+				}
+				for r := c.from; r < c.to; r++ {
+					if r > c.from {
+						nextSubset(len(universe), ss)
+					}
+					faults.Clear()
+					for _, idx := range ss {
+						faults.Add(universe[idx])
+					}
+					checkOne(g, solver, faults, universe, ss, local, opts.MaxRecorded)
+				}
+			}
+			results <- local
+		}()
+	}
+	wg.Wait()
+	close(results)
+	for local := range results {
+		merge(rep, local, opts.MaxRecorded)
+	}
+	rep.Duration = time.Since(start)
+	return rep
+}
+
+// Random samples `trials` fault sets with sizes uniform in [0, k] and
+// membership uniform among the universe. Deterministic per seed.
+func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
+	fillDefaults(&opts)
+	universe := universeNodes(g, opts.Universe)
+	rep := &Report{GraphName: g.Name(), K: k}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	results := make(chan *Report, opts.Workers)
+	per := (trials + opts.Workers - 1) / opts.Workers
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &Report{}
+			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
+			solver := embed.NewSolver(g, opts.Solver)
+			faults := bitset.New(g.NumNodes())
+			buf := make([]int, 0, k)
+			// Worker w owns trials [w·per, min((w+1)·per, trials)): the
+			// partition is exact for any trials/workers combination.
+			n := per
+			if rem := trials - w*per; rem < n {
+				n = rem
+			}
+			for t := 0; t < n; t++ {
+				size := rng.Intn(k + 1)
+				if size > len(universe) {
+					size = len(universe)
+				}
+				buf = combin.RandomSubset(rng, len(universe), size, buf)
+				faults.Clear()
+				for _, idx := range buf {
+					faults.Add(universe[idx])
+				}
+				checkOne(g, solver, faults, universe, buf, local, opts.MaxRecorded)
+			}
+			results <- local
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	for local := range results {
+		merge(rep, local, opts.MaxRecorded)
+	}
+	rep.Duration = time.Since(start)
+	return rep
+}
+
+// checkOne runs the solver on one fault set and records the outcome.
+func checkOne(g *graph.Graph, solver *embed.Solver, faults bitset.Set, universe, sub []int, local *Report, maxRec int) {
+	local.Checked++
+	res := solver.Find(faults)
+	switch {
+	case res.Unknown:
+		local.UnknownCount++
+		record(&local.Unknowns, universe, sub, "budget exhausted", maxRec)
+	case !res.Found:
+		local.FailureCount++
+		record(&local.Failures, universe, sub, "no pipeline", maxRec)
+	default:
+		if err := CheckPipeline(g, faults, res.Pipeline); err != nil {
+			record(&local.SolverBugs, universe, sub, err.Error(), maxRec)
+		}
+	}
+}
+
+func record(dst *[]FaultSetRecord, universe, sub []int, msg string, maxRec int) {
+	if len(*dst) >= maxRec {
+		return
+	}
+	nodes := make([]int, len(sub))
+	for i, idx := range sub {
+		nodes[i] = universe[idx]
+	}
+	*dst = append(*dst, FaultSetRecord{Nodes: nodes, Err: msg})
+}
+
+func merge(rep, local *Report, maxRec int) {
+	rep.Checked += local.Checked
+	rep.FailureCount += local.FailureCount
+	rep.UnknownCount += local.UnknownCount
+	for _, f := range local.Failures {
+		if len(rep.Failures) < maxRec {
+			rep.Failures = append(rep.Failures, f)
+		}
+	}
+	for _, u := range local.Unknowns {
+		if len(rep.Unknowns) < maxRec {
+			rep.Unknowns = append(rep.Unknowns, u)
+		}
+	}
+	rep.SolverBugs = append(rep.SolverBugs, local.SolverBugs...)
+}
+
+// nextSubset advances sub to the lexicographic successor among k-subsets of
+// {0..n-1}. The caller guarantees a successor exists.
+func nextSubset(n int, sub []int) {
+	k := len(sub)
+	i := k - 1
+	for i >= 0 && sub[i] == n-k+i {
+		i--
+	}
+	sub[i]++
+	for j := i + 1; j < k; j++ {
+		sub[j] = sub[j-1] + 1
+	}
+}
+
+func universeNodes(g *graph.Graph, u FaultUniverse) []int {
+	if u == ProcessorsOnly {
+		return g.Processors()
+	}
+	nodes := make([]int, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+func fillDefaults(opts *Options) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxRecorded <= 0 {
+		opts.MaxRecorded = 16
+	}
+}

@@ -1,0 +1,265 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/combin"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+func pipelineGraph() (*graph.Graph, graph.Path) {
+	g := graph.New("p3")
+	p0 := g.AddNode(graph.Processor, 0)
+	p1 := g.AddNode(graph.Processor, 1)
+	p2 := g.AddNode(graph.Processor, 2)
+	in := g.AddNode(graph.InputTerminal, 0)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(in, p0)
+	g.AddEdge(p0, p1)
+	g.AddEdge(p1, p2)
+	g.AddEdge(p2, out)
+	return g, graph.Path{in, p0, p1, p2, out}
+}
+
+func TestCheckPipelineAccepts(t *testing.T) {
+	g, p := pipelineGraph()
+	if err := verify.CheckPipeline(g, nil, p); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed direction (output → input) is equally valid per the paper.
+	if err := verify.CheckPipeline(g, nil, append(graph.Path(nil), p...).Reverse()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPipelineRejections(t *testing.T) {
+	g, p := pipelineGraph()
+	cases := map[string]struct {
+		path   graph.Path
+		faults []int
+		want   string
+	}{
+		"too short":        {path: graph.Path{p[0], p[1]}, want: "too short"},
+		"revisit":          {path: graph.Path{p[0], p[1], p[2], p[1], p[4]}, want: "revisits"},
+		"non-edge":         {path: graph.Path{p[0], p[1], p[3], p[2], p[4]}, want: "non-edge"},
+		"faulty node":      {path: p, faults: []int{1}, want: "faulty"},
+		"bad endpoints":    {path: graph.Path{p[1], p[2], p[3]}, want: "endpoints"},
+		"skips processor":  {path: graph.Path{p[0], p[1], p[2], p[4]}, faults: nil, want: "non-edge"},
+		"interior not all": {path: p[:4], want: "endpoints"},
+	}
+	for name, c := range cases {
+		var f bitset.Set
+		if c.faults != nil {
+			f = bitset.FromSlice(g.NumNodes(), c.faults)
+		}
+		err := verify.CheckPipeline(g, f, c.path)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+}
+
+func TestCheckPipelineRequiresAllHealthyProcessors(t *testing.T) {
+	// A path that is perfectly valid but misses one healthy processor must
+	// be rejected: that is the "graceful" in gracefully degradable.
+	g := graph.New("y")
+	p0 := g.AddNode(graph.Processor, 0)
+	p1 := g.AddNode(graph.Processor, 1)
+	p2 := g.AddNode(graph.Processor, 2) // the one we'll skip
+	in := g.AddNode(graph.InputTerminal, 0)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(in, p0)
+	g.AddEdge(p0, p1)
+	g.AddEdge(p1, out)
+	g.AddEdge(p1, p2)
+	err := verify.CheckPipeline(g, nil, graph.Path{in, p0, p1, out})
+	if err == nil || !strings.Contains(err.Error(), "healthy") {
+		t.Fatalf("skipping a healthy processor not rejected: %v", err)
+	}
+}
+
+func TestToleratesValidAndInvalid(t *testing.T) {
+	g := construct.G1(2)
+	if _, ok, err := verify.Tolerates(g, nil, embed.Options{}); !ok || err != nil {
+		t.Fatalf("fault-free G1(2): ok=%v err=%v", ok, err)
+	}
+	// Kill all three input terminals: not tolerated.
+	f := bitset.FromSlice(g.NumNodes(), g.InputTerminals())
+	if _, ok, err := verify.Tolerates(g, f, embed.Options{}); ok || err != nil {
+		t.Fatalf("all-inputs-faulty: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestExhaustiveCountsAllFaultSets(t *testing.T) {
+	g := construct.G1(1)
+	rep := verify.Exhaustive(g, 1, verify.Options{Workers: 3})
+	want := combin.CountUpTo(g.NumNodes(), 1)
+	if rep.Checked != want {
+		t.Fatalf("checked %d fault sets, want %d", rep.Checked, want)
+	}
+	if !rep.OK() {
+		t.Fatalf("G1(1) failed: %s", rep.String())
+	}
+	if !strings.Contains(rep.String(), "OK") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestExhaustiveFindsCounterexamples(t *testing.T) {
+	// A bare line is not even 1-gracefully-degradable.
+	g := graph.New("line3")
+	p0 := g.AddNode(graph.Processor, 0)
+	p1 := g.AddNode(graph.Processor, 1)
+	p2 := g.AddNode(graph.Processor, 2)
+	in := g.AddNode(graph.InputTerminal, 0)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(in, p0)
+	g.AddEdge(p0, p1)
+	g.AddEdge(p1, p2)
+	g.AddEdge(p2, out)
+	rep := verify.Exhaustive(g, 1, verify.Options{})
+	if rep.OK() {
+		t.Fatal("line graph reported 1-GD")
+	}
+	if rep.FailureCount == 0 || len(rep.Failures) == 0 {
+		t.Fatalf("no counterexamples recorded: %s", rep.String())
+	}
+	if !strings.Contains(rep.String(), "FAILED") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+	// Single fault {p1} must be among the failures.
+	found := false
+	for _, f := range rep.Failures {
+		if len(f.Nodes) == 1 && f.Nodes[0] == p1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fault {p1} not recorded: %+v", rep.Failures)
+	}
+}
+
+func TestExhaustiveMaxRecordedCap(t *testing.T) {
+	g := graph.New("iso")
+	g.AddNode(graph.Processor, 0)
+	g.AddNode(graph.InputTerminal, 0)
+	g.AddNode(graph.OutputTerminal, 0)
+	// No edges at all: every fault set fails.
+	rep := verify.Exhaustive(g, 2, verify.Options{MaxRecorded: 2})
+	if rep.FailureCount != rep.Checked {
+		t.Fatalf("all %d sets should fail, got %d", rep.Checked, rep.FailureCount)
+	}
+	if len(rep.Failures) != 2 {
+		t.Fatalf("recorded %d failures, want cap 2", len(rep.Failures))
+	}
+}
+
+func TestRandomVerification(t *testing.T) {
+	g := construct.G2(3)
+	rep := verify.Random(g, 3, 500, 42, verify.Options{Workers: 4})
+	if !rep.OK() {
+		t.Fatalf("G2(3) random: %s %v", rep.String(), rep.Failures)
+	}
+	if rep.Checked != 500 {
+		t.Fatalf("checked %d, want 500", rep.Checked)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	g := construct.G2(2)
+	a := verify.Random(g, 2, 200, 7, verify.Options{Workers: 2})
+	b := verify.Random(g, 2, 200, 7, verify.Options{Workers: 2})
+	if a.Checked != b.Checked || a.FailureCount != b.FailureCount {
+		t.Fatal("same seed produced different aggregate results")
+	}
+}
+
+func TestProcessorsOnlyUniverse(t *testing.T) {
+	g := construct.Merge(construct.G1(2))
+	rep := verify.Exhaustive(g, 2, verify.Options{Universe: verify.ProcessorsOnly})
+	want := combin.CountUpTo(g.CountKind(graph.Processor), 2)
+	if rep.Checked != want {
+		t.Fatalf("checked %d, want %d (processors only)", rep.Checked, want)
+	}
+	if !rep.OK() {
+		t.Fatalf("merged G1(2): %s %v", rep.String(), rep.Failures)
+	}
+}
+
+func TestDegreeLowerBoundTable(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{1, 1, 3}, {1, 4, 6}, // k+2
+		{2, 1, 4}, {2, 2, 5}, {2, 4, 7}, // n=2: k+3
+		{3, 1, 3},            // n=3, k=1: k+2
+		{3, 2, 5}, {3, 5, 8}, // n=3, k>1: k+3
+		{4, 3, 6}, {6, 1, 4}, {8, 3, 6}, // even n, odd k: k+3
+		{5, 2, 5},                       // Lemma 3.14
+		{5, 3, 5}, {7, 2, 4}, {9, 4, 6}, // defaults k+2
+		{6, 2, 4}, {4, 4, 6},
+	}
+	for _, c := range cases {
+		if got := verify.DegreeLowerBound(c.n, c.k); got != c.want {
+			t.Errorf("DegreeLowerBound(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCheckStandardErrors(t *testing.T) {
+	g := construct.G1(2)
+	if err := verify.CheckStandard(g, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckStandard(g, 2, 2); err == nil {
+		t.Fatal("wrong n accepted")
+	}
+	if err := verify.CheckStandard(g, 1, 3); err == nil {
+		t.Fatal("wrong k accepted")
+	}
+	bad := g.Clone()
+	bad.AddEdge(bad.InputTerminals()[0], bad.Processors()[1])
+	if err := verify.CheckStandard(bad, 1, 2); err == nil {
+		t.Fatal("degree-2 terminal accepted")
+	}
+}
+
+func TestCheckNecessaryConditions(t *testing.T) {
+	if err := verify.CheckNecessaryConditions(construct.G3(2), 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := pipelineGraph()
+	if err := verify.CheckNecessaryConditions(g, 3, 1); err == nil {
+		t.Fatal("bare line satisfies Lemma 3.1?")
+	}
+}
+
+func TestCheckMerged(t *testing.T) {
+	m := construct.Merge(construct.G2(2))
+	if err := verify.CheckMerged(m, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckMerged(m, 3, 2); err == nil {
+		t.Fatal("wrong n accepted")
+	}
+	if err := verify.CheckMerged(construct.G2(2), 2, 2); err == nil {
+		t.Fatal("unmerged graph accepted as merged")
+	}
+}
+
+func TestExhaustiveMatchesSingleThreaded(t *testing.T) {
+	// Worker partitioning must not change the verdict or the count.
+	g := construct.G3(2)
+	a := verify.Exhaustive(g, 2, verify.Options{Workers: 1})
+	b := verify.Exhaustive(g, 2, verify.Options{Workers: 8})
+	if a.Checked != b.Checked || a.OK() != b.OK() {
+		t.Fatalf("worker count changed results: %s vs %s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,211 @@
+// Package workload generates the synthetic input streams the experiments
+// and examples feed through pipeline networks. The paper's motivating
+// applications (§1) — video compression, speech processing, filtering,
+// CT projections — are proprietary or hardware-bound; these generators
+// produce streams with the same structural properties the stages care
+// about: tonal content for filters and FFTs, spatial correlation for
+// subsampling, and repetitive symbol patterns for dictionary compression.
+// All generators are deterministic per seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"gdpn/internal/pipeline"
+)
+
+// Generator produces one sample at a time.
+type Generator interface {
+	// Name identifies the workload in experiment tables.
+	Name() string
+	// Next returns the next sample of the stream.
+	Next() float64
+	// Reset restarts the stream from the beginning.
+	Reset()
+}
+
+// Tone is a pure sinusoid: Amp·sin(2π·Freq·t + Phase), t in samples of
+// SampleRate.
+type Tone struct {
+	Freq, Amp, Phase float64
+	SampleRate       float64
+	t                int
+}
+
+// NewTone returns a sinusoid generator at the given normalized frequency
+// (cycles per sample rate of 1.0 when sampleRate is 0).
+func NewTone(freq, amp float64, sampleRate float64) *Tone {
+	if sampleRate <= 0 {
+		sampleRate = 1
+	}
+	return &Tone{Freq: freq, Amp: amp, SampleRate: sampleRate}
+}
+
+func (g *Tone) Name() string { return "tone" }
+
+func (g *Tone) Reset() { g.t = 0 }
+
+func (g *Tone) Next() float64 {
+	v := g.Amp * math.Sin(2*math.Pi*g.Freq*float64(g.t)/g.SampleRate+g.Phase)
+	g.t++
+	return v
+}
+
+// Chirp sweeps linearly from F0 to F1 over Span samples, then repeats —
+// the classic radar/sonar test signal.
+type Chirp struct {
+	F0, F1, Amp float64
+	Span        int
+	t           int
+}
+
+// NewChirp returns a repeating linear chirp.
+func NewChirp(f0, f1, amp float64, span int) *Chirp {
+	if span < 1 {
+		span = 1
+	}
+	return &Chirp{F0: f0, F1: f1, Amp: amp, Span: span}
+}
+
+func (g *Chirp) Name() string { return "chirp" }
+
+func (g *Chirp) Reset() { g.t = 0 }
+
+func (g *Chirp) Next() float64 {
+	pos := float64(g.t%g.Span) / float64(g.Span)
+	freq := g.F0 + (g.F1-g.F0)*pos
+	v := g.Amp * math.Sin(2*math.Pi*freq*float64(g.t))
+	g.t++
+	return v
+}
+
+// Noise is Gaussian white noise with the given standard deviation.
+type Noise struct {
+	Sigma float64
+	seed  int64
+	rng   *rand.Rand
+}
+
+// NewNoise returns deterministic Gaussian noise.
+func NewNoise(sigma float64, seed int64) *Noise {
+	return &Noise{Sigma: sigma, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Noise) Name() string { return "noise" }
+
+func (g *Noise) Reset() { g.rng = rand.New(rand.NewSource(g.seed)) }
+
+func (g *Noise) Next() float64 { return g.Sigma * g.rng.NormFloat64() }
+
+// Scanline emulates a video scanline stream: a smooth horizontal gradient
+// with a bright block that drifts one pixel per line — high spatial
+// correlation, the property subsampling and dictionary compression
+// exploit.
+type Scanline struct {
+	Width  int
+	x, row int
+}
+
+// NewScanline returns a scanline generator of the given width.
+func NewScanline(width int) *Scanline {
+	if width < 4 {
+		width = 4
+	}
+	return &Scanline{Width: width}
+}
+
+func (g *Scanline) Name() string { return "scanline" }
+
+func (g *Scanline) Reset() { g.x, g.row = 0, 0 }
+
+func (g *Scanline) Next() float64 {
+	blockStart := g.row % g.Width
+	v := float64(g.x) / float64(g.Width) * 64 // gradient 0..64
+	if dx := g.x - blockStart; dx >= 0 && dx < g.Width/8 {
+		v += 128 // the moving block
+	}
+	g.x++
+	if g.x == g.Width {
+		g.x = 0
+		g.row++
+	}
+	return v
+}
+
+// Markov emits symbols 0..Alphabet-1 with a sticky transition matrix
+// (probability Stickiness of repeating the previous symbol) — repetitive
+// enough for LZ78 to compress well, random enough to be nontrivial.
+type Markov struct {
+	Alphabet   int
+	Stickiness float64
+	seed       int64
+	rng        *rand.Rand
+	prev       int
+}
+
+// NewMarkov returns a sticky Markov symbol source.
+func NewMarkov(alphabet int, stickiness float64, seed int64) *Markov {
+	if alphabet < 2 {
+		alphabet = 2
+	}
+	return &Markov{Alphabet: alphabet, Stickiness: stickiness, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Markov) Name() string { return "markov" }
+
+func (g *Markov) Reset() {
+	g.rng = rand.New(rand.NewSource(g.seed))
+	g.prev = 0
+}
+
+func (g *Markov) Next() float64 {
+	if g.rng.Float64() >= g.Stickiness {
+		g.prev = g.rng.Intn(g.Alphabet)
+	}
+	return float64(g.prev)
+}
+
+// Mix sums several generators sample-wise.
+type Mix struct {
+	Parts []Generator
+}
+
+func (g *Mix) Name() string { return "mix" }
+
+func (g *Mix) Reset() {
+	for _, p := range g.Parts {
+		p.Reset()
+	}
+}
+
+func (g *Mix) Next() float64 {
+	var v float64
+	for _, p := range g.Parts {
+		v += p.Next()
+	}
+	return v
+}
+
+// Frames draws `count` frames of `size` samples from the generator.
+func Frames(g Generator, count, size, firstSeq int) []pipeline.Frame {
+	out := make([]pipeline.Frame, count)
+	for i := range out {
+		data := make([]float64, size)
+		for j := range data {
+			data[j] = g.Next()
+		}
+		out[i] = pipeline.Frame{Seq: firstSeq + i, Data: data}
+	}
+	return out
+}
+
+// Video returns the composite stream used by the streaming experiments: a
+// scanline image layer plus a tonal carrier and mild sensor noise.
+func Video(width int, seed int64) Generator {
+	return &Mix{Parts: []Generator{
+		NewScanline(width),
+		NewTone(0.05, 4, 1),
+		NewNoise(0.8, seed),
+	}}
+}

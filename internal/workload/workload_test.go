@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"gdpn/internal/stages"
+)
+
+func drain(g Generator, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestToneFrequencyPeak(t *testing.T) {
+	// A normalized-frequency tone must put its FFT energy in the right bin.
+	const n = 128
+	g := NewTone(8.0/n, 1, 1)
+	samples := drain(g, n)
+	spec := stages.NewFFT().Process(samples)
+	peak, peakMag := -1, 0.0
+	for k := 0; k <= n/2; k++ {
+		mag := math.Hypot(spec[2*k], spec[2*k+1])
+		if mag > peakMag {
+			peak, peakMag = k, mag
+		}
+	}
+	if peak != 8 {
+		t.Fatalf("tone peak at bin %d, want 8", peak)
+	}
+}
+
+func TestToneResetRepeats(t *testing.T) {
+	g := NewTone(0.1, 2, 1)
+	a := drain(g, 16)
+	g.Reset()
+	b := drain(g, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Reset did not restart the stream")
+		}
+	}
+}
+
+func TestChirpSweeps(t *testing.T) {
+	g := NewChirp(0.01, 0.2, 1, 256)
+	s := drain(g, 256)
+	// Zero crossings grow denser toward the end of the sweep.
+	early, late := crossings(s[:64]), crossings(s[192:])
+	if late <= early {
+		t.Fatalf("chirp does not sweep: %d early crossings vs %d late", early, late)
+	}
+	if g.Name() != "chirp" {
+		t.Fatal("name")
+	}
+}
+
+func crossings(s []float64) int {
+	c := 0
+	for i := 1; i < len(s); i++ {
+		if (s[i-1] < 0) != (s[i] < 0) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestNoiseStatsAndDeterminism(t *testing.T) {
+	g := NewNoise(2, 42)
+	s := drain(g, 20000)
+	var mean, varsum float64
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	for _, v := range s {
+		varsum += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(varsum / float64(len(s)))
+	if math.Abs(mean) > 0.1 || math.Abs(sd-2) > 0.1 {
+		t.Fatalf("noise stats: mean %v, sd %v", mean, sd)
+	}
+	g.Reset()
+	if g.Next() != s[0] {
+		t.Fatal("noise not deterministic after Reset")
+	}
+}
+
+func TestScanlineStructure(t *testing.T) {
+	g := NewScanline(64)
+	row0 := drain(g, 64)
+	row1 := drain(g, 64)
+	// The bright block occupies width/8 pixels per row...
+	bright := 0
+	for _, v := range row0 {
+		if v >= 128 {
+			bright++
+		}
+	}
+	if bright != 8 {
+		t.Fatalf("block width %d, want 8", bright)
+	}
+	// ...and drifts by one pixel per row.
+	first := func(row []float64) int {
+		for i, v := range row {
+			if v >= 128 {
+				return i
+			}
+		}
+		return -1
+	}
+	if first(row1) != first(row0)+1 {
+		t.Fatalf("block did not drift: %d → %d", first(row0), first(row1))
+	}
+}
+
+func TestMarkovCompressibility(t *testing.T) {
+	// A sticky Markov stream must compress far better than uniform noise.
+	sticky := NewMarkov(16, 0.9, 1)
+	uniform := NewMarkov(16, 0, 1)
+	ratio := func(g Generator) float64 {
+		in := drain(g, 4096)
+		enc := stages.NewLZ78(0)
+		stream := append(enc.Process(in), enc.Flush()...)
+		return float64(len(in)) / float64(len(stream)/2)
+	}
+	rs, ru := ratio(sticky), ratio(uniform)
+	if rs <= ru {
+		t.Fatalf("sticky ratio %v not better than uniform %v", rs, ru)
+	}
+	if m := NewMarkov(1, 0, 1); m.Alphabet != 2 {
+		t.Fatal("alphabet clamp")
+	}
+}
+
+func TestMixAndFrames(t *testing.T) {
+	m := &Mix{Parts: []Generator{NewTone(0.1, 1, 1), NewNoise(0, 3)}}
+	frames := Frames(m, 3, 32, 10)
+	if len(frames) != 3 || frames[0].Seq != 10 || frames[2].Seq != 12 {
+		t.Fatalf("frames %+v", frames)
+	}
+	for _, f := range frames {
+		if len(f.Data) != 32 {
+			t.Fatal("frame size")
+		}
+	}
+	m.Reset()
+	again := Frames(m, 1, 32, 0)
+	for j := range again[0].Data {
+		if again[0].Data[j] != frames[0].Data[j] {
+			t.Fatal("Mix.Reset did not restart parts")
+		}
+	}
+	if m.Name() != "mix" {
+		t.Fatal("name")
+	}
+}
+
+func TestVideoComposite(t *testing.T) {
+	g := Video(64, 5)
+	s := drain(g, 4096)
+	// Must contain the bright block values (>= ~120 after noise).
+	max := 0.0
+	for _, v := range s {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 100 {
+		t.Fatalf("video stream lacks block highlights: max %v", max)
+	}
+	if g.Name() != "mix" {
+		t.Fatal("Video should be a Mix")
+	}
+}
