@@ -8,22 +8,40 @@
 //	gdpbench -quick          # sampled verification, smaller grids
 //	gdpbench -run F14        # one experiment
 //	gdpbench -list
+//	gdpbench -quick -json    # machine-readable result + metrics blob
+//
+// With -json the run emits a single JSON object on stdout: the experiment
+// tables, the overall verdict, and a snapshot of the runtime metrics
+// registry (solver timings, tier hit counters) — the seed format of the
+// BENCH_*.json benchmark trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"gdpn/internal/experiments"
+	"gdpn/internal/obs"
 )
+
+// jsonReport is the -json output schema.
+type jsonReport struct {
+	OK          bool                 `json:"ok"`
+	Quick       bool                 `json:"quick"`
+	Seed        int64                `json:"seed"`
+	Experiments []*experiments.Table `json:"experiments"`
+	Metrics     obs.Snapshot         `json:"metrics"`
+}
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "sampled verification, smaller grids")
-		run   = flag.String("run", "", "run a single experiment id (see -list)")
-		list  = flag.Bool("list", false, "list experiment ids")
-		seed  = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "sampled verification, smaller grids")
+		run     = flag.String("run", "", "run a single experiment id (see -list)")
+		list    = flag.Bool("list", false, "list experiment ids")
+		seed    = flag.Int64("seed", 1, "random seed")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (tables + metrics) on stdout")
 	)
 	flag.Parse()
 
@@ -34,6 +52,37 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *jsonOut {
+		// Collect runtime metrics (solver wall time, tier hit rates) along
+		// with the tables.
+		obs.Default().SetEnabled(true)
+		var (
+			tables []*experiments.Table
+			ok     bool
+		)
+		if *run != "" {
+			tbl, err := experiments.CollectOne(*run, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gdpbench:", err)
+				os.Exit(2)
+			}
+			tables, ok = []*experiments.Table{tbl}, tbl.OK
+		} else {
+			tables, ok = experiments.CollectAll(cfg)
+		}
+		rep := jsonReport{OK: ok, Quick: *quick, Seed: *seed,
+			Experiments: tables, Metrics: obs.Default().Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "gdpbench:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *run != "" {
 		ok, err := experiments.RunOne(*run, cfg, os.Stdout)
 		if err != nil {

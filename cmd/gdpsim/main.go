@@ -3,20 +3,31 @@
 // with faults arriving between epochs and the stream continuing on every
 // healthy processor.
 //
+// With -metrics-addr the run is observable live: /metrics serves the
+// Prometheus text exposition (frame-latency quantiles, per-tactic repair
+// counts, solver timings; append ?format=json for a JSON snapshot),
+// /debug/trace serves the fault/repair event trace, and a one-line
+// metrics summary is printed to stderr every -snapshot-interval.
+//
 // Usage:
 //
 //	gdpsim -n 24 -k 4 -epoch-frames 128 -frame 4096
 //	gdpsim -n 1000 -k 6 -model terminals-first
+//	gdpsim -n 24 -k 4 -metrics-addr :9090 -epochs 50
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"gdpn/internal/construct"
 	"gdpn/internal/faults"
+	"gdpn/internal/obs"
 	"gdpn/internal/pipeline"
 	"gdpn/internal/stages"
 	"gdpn/internal/workload"
@@ -24,14 +35,37 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 24, "minimum pipeline processors")
-		k      = flag.Int("k", 4, "fault tolerance")
-		frames = flag.Int("epoch-frames", 128, "frames per epoch")
-		size   = flag.Int("frame", 4096, "samples per frame")
-		model  = flag.String("model", "processors-only", "fault model: uniform, processors-only, terminals-first")
-		seed   = flag.Int64("seed", 1, "random seed")
+		n        = flag.Int("n", 24, "minimum pipeline processors")
+		k        = flag.Int("k", 4, "fault tolerance")
+		frames   = flag.Int("epoch-frames", 128, "frames per epoch")
+		size     = flag.Int("frame", 4096, "samples per frame")
+		model    = flag.String("model", "processors-only", "fault model: uniform, processors-only, terminals-first")
+		seed     = flag.Int64("seed", 1, "random seed")
+		epochs   = flag.Int("epochs", 0, "total epochs to run (0 = stop when the fault sequence is exhausted)")
+		addr     = flag.String("metrics-addr", "", "serve /metrics and /debug/trace on this address (e.g. :9090); enables instrumentation")
+		interval = flag.Duration("snapshot-interval", 5*time.Second, "period of the one-line stderr metrics snapshot (with -metrics-addr)")
 	)
 	flag.Parse()
+
+	reg := obs.Default()
+	if *addr != "" {
+		reg.SetEnabled(true)
+		srv := &http.Server{Addr: *addr, Handler: reg.Mux()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal(fmt.Errorf("metrics server: %w", err))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "gdpsim: serving /metrics and /debug/trace on %s\n", *addr)
+		if *interval > 0 {
+			ticker := time.NewTicker(*interval)
+			go func() {
+				for range ticker.C {
+					fmt.Fprintln(os.Stderr, summaryLine(reg))
+				}
+			}()
+		}
+	}
 
 	sol, err := construct.Design(*n, *k)
 	if err != nil {
@@ -67,8 +101,14 @@ func main() {
 		fmt.Printf("%-6d %-7d %-13d %-9d %8.1f MB/s %10s\n",
 			epoch, eng.Faults().Count(), eng.ProcessorsInUse(), len(out),
 			float64(*frames**size*8)/1e6/elapsed.Seconds(), remap.Round(time.Microsecond))
+		if *epochs > 0 && epoch+1 >= *epochs {
+			break
+		}
 		node, ok := inj.Next()
 		if !ok {
+			if *epochs > 0 {
+				continue // keep streaming (and serving metrics) until -epochs
+			}
 			break
 		}
 		if err := eng.Inject(node); err != nil {
@@ -77,6 +117,51 @@ func main() {
 	}
 	fmt.Printf("done: %d frames, %d remaps, total remap time %v\n",
 		eng.Metrics().FramesProcessed, eng.Metrics().Remaps, eng.Metrics().RemapTime.Round(time.Microsecond))
+	if *addr != "" {
+		fmt.Fprintln(os.Stderr, summaryLine(reg))
+	}
+}
+
+// summaryLine condenses the registry into one stderr line:
+//
+//	obs: frames=640 lat p50=1.2ms p99=3.4ms stall p99=80µs tput=120.0MB/s procs=23 repairs splice=1 full-remap=1
+func summaryLine(reg *obs.Registry) string {
+	s := reg.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "obs: frames=%d", s.Counters["pipeline_frames_total"])
+	if h, ok := s.Histograms["pipeline_frame_latency_ns"]; ok && h.Count > 0 {
+		fmt.Fprintf(&b, " lat p50=%v p99=%v", time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P99).Round(time.Microsecond))
+	}
+	if h, ok := s.Histograms["pipeline_send_stall_ns"]; ok && h.Count > 0 {
+		fmt.Fprintf(&b, " stall p99=%v", time.Duration(h.P99).Round(time.Microsecond))
+	}
+	if bps, ok := s.Gauges["pipeline_epoch_throughput_bps"]; ok && bps > 0 {
+		fmt.Fprintf(&b, " tput=%.1fMB/s", float64(bps)/1e6)
+	}
+	fmt.Fprintf(&b, " procs=%d", s.Gauges["pipeline_procs_in_use"])
+	// Per-tactic repair counts, sorted for a stable line.
+	type kv struct {
+		tactic string
+		n      int64
+	}
+	var repairs []kv
+	for key, v := range s.Counters {
+		if v == 0 {
+			continue
+		}
+		if tac, ok := strings.CutPrefix(key, `reconfig_repairs_total{tactic="`); ok {
+			repairs = append(repairs, kv{strings.TrimSuffix(tac, `"}`), v})
+		}
+	}
+	sort.Slice(repairs, func(i, j int) bool { return repairs[i].tactic < repairs[j].tactic })
+	for i, r := range repairs {
+		if i == 0 {
+			b.WriteString(" repairs")
+		}
+		fmt.Fprintf(&b, " %s=%d", r.tactic, r.n)
+	}
+	return b.String()
 }
 
 func fatal(err error) {

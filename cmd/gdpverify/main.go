@@ -9,15 +9,18 @@
 //	gdpverify -n 10 -k 2 -merge           # merged model, processor faults only
 //	gdpverify -n 10 -k 2 -certify g.certs # write one witness per fault set
 //	gdpverify -n 10 -k 2 -replay g.certs  # re-check witnesses (no solver trust)
+//	gdpverify -n 22 -k 4 -json            # machine-readable report + metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
+	"gdpn/internal/obs"
 	"gdpn/internal/verify"
 )
 
@@ -31,6 +34,7 @@ func main() {
 		work    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		certify = flag.String("certify", "", "write a certificate file (one witness per fault set)")
 		replay  = flag.String("replay", "", "replay a certificate file instead of searching")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (report + metrics) on stdout")
 	)
 	flag.Parse()
 	if *certify != "" || *replay != "" {
@@ -38,6 +42,10 @@ func main() {
 		return
 	}
 
+	if *jsonOut {
+		// Collect solver metrics (embed_find_ns, tier counters) for the blob.
+		obs.Default().SetEnabled(true)
+	}
 	sol, err := construct.Design(*n, *k)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gdpverify:", err)
@@ -50,12 +58,34 @@ func main() {
 		opts.Universe = verify.ProcessorsOnly
 		opts.Solver = embed.Options{}
 	}
-	fmt.Println(g.Summary())
+	if !*jsonOut {
+		fmt.Println(g.Summary())
+	}
 	var rep *verify.Report
 	if *trials > 0 {
 		rep = verify.Random(g, *k, *trials, *seed, opts)
 	} else {
 		rep = verify.Exhaustive(g, *k, opts)
+	}
+	if *jsonOut {
+		out := struct {
+			OK      bool           `json:"ok"`
+			Graph   string         `json:"graph"`
+			K       int            `json:"k"`
+			Trials  int            `json:"trials"`
+			Merge   bool           `json:"merge"`
+			Report  *verify.Report `json:"report"`
+			Metrics obs.Snapshot   `json:"metrics"`
+		}{rep.OK(), g.Name(), *k, *trials, *merge, rep, obs.Default().Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println(rep.String())
 	for _, f := range rep.Failures {

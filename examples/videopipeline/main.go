@@ -16,6 +16,7 @@ import (
 
 	"gdpn/internal/construct"
 	"gdpn/internal/faults"
+	"gdpn/internal/obs"
 	"gdpn/internal/pipeline"
 	"gdpn/internal/stages"
 )
@@ -33,6 +34,10 @@ func stageChain() []stages.Stage {
 func main() {
 	const n, k = 20, 3
 	const epochs, framesPerEpoch, frameSize = 4, 48, 2048
+
+	// Instrument the run so each fault prints measured degradation, not
+	// just "still running".
+	obs.Default().SetEnabled(true)
 
 	sol, err := construct.Design(n, k)
 	if err != nil {
@@ -89,10 +94,35 @@ func main() {
 			}
 			fmt.Printf("  !! processor %d failed — remapped onto %d processors in %v\n",
 				node, live.ProcessorsInUse(), live.Metrics().RemapTime.Round(time.Microsecond))
+			printMetrics()
 		}
 	}
 	fmt.Printf("stream stayed byte-identical to the golden run across %d faults; overall compression %.2fx\n",
 		live.Faults().Count(), float64(totalIn)/float64(totalOut))
+}
+
+// printMetrics shows the numeric shape of the degradation after a fault:
+// frame-latency quantiles, epoch throughput, and how the repairs were
+// accomplished (per-tactic counts from the obs registry).
+func printMetrics() {
+	s := obs.Default().Snapshot()
+	if h, ok := s.Histograms["pipeline_frame_latency_ns"]; ok && h.Count > 0 {
+		fmt.Printf("     frame latency p50=%v p90=%v p99=%v max=%v\n",
+			time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P90).Round(time.Microsecond),
+			time.Duration(h.P99).Round(time.Microsecond),
+			time.Duration(h.Max).Round(time.Microsecond))
+	}
+	if bps := s.Gauges["pipeline_epoch_throughput_bps"]; bps > 0 {
+		fmt.Printf("     epoch throughput %.1f MB/s over %d processors\n",
+			float64(bps)/1e6, s.Gauges["pipeline_procs_in_use"])
+	}
+	for _, tactic := range []string{"splice", "rewire", "endpoint-swap", "insert", "full-remap", "no-change"} {
+		key := fmt.Sprintf("reconfig_repairs_total{tactic=%q}", tactic)
+		if c := s.Counters[key]; c > 0 {
+			fmt.Printf("     repairs via %s: %d\n", tactic, c)
+		}
+	}
 }
 
 func cloneFrames(in []pipeline.Frame) []pipeline.Frame {

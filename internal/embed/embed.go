@@ -27,10 +27,12 @@ package embed
 
 import (
 	"fmt"
+	"time"
 
 	"gdpn/internal/bitset"
 	"gdpn/internal/construct"
 	"gdpn/internal/graph"
+	"gdpn/internal/obs"
 )
 
 // MaxDPProcessors is the largest healthy-processor count the exact DP
@@ -142,6 +144,11 @@ type Solver struct {
 	healthy []int // healthy processor indices (into procs)
 	dpTable []uint32
 	bt      *backtracker
+
+	reg        *obs.Registry
+	findTime   *obs.Histogram  // wall time per Find call
+	expansions *obs.Counter    // DFS node expansions / DP transitions
+	tiers      [6]*obs.Counter // per-tier resolutions, same order as tierDeltas
 }
 
 // NewSolver returns a Solver for g.
@@ -158,7 +165,20 @@ func NewSolver(g *graph.Graph, opts Options) *Solver {
 	if s.opts.Budget == 0 {
 		s.opts.Budget = DefaultBudget
 	}
+	s.reg = obs.Default()
+	s.findTime = s.reg.Histogram("embed_find_ns")
+	s.expansions = s.reg.Counter("embed_expansions_total")
+	for i, name := range tierNames {
+		s.tiers[i] = s.reg.Counter("embed_tier_total", obs.L("tier", name))
+	}
 	return s
+}
+
+var tierNames = [6]string{"planner", "compressed", "probe", "dp", "full", "trivial"}
+
+// tierDeltas flattens a TierStats in the tierNames order.
+func tierDeltas(t TierStats) [6]int64 {
+	return [6]int64{t.Planner, t.Compressed, t.Probe, t.DP, t.Full, t.Trivial}
 }
 
 // Stats returns cumulative per-tier resolution counts for this solver.
@@ -167,6 +187,23 @@ func (s *Solver) Stats() TierStats { return s.stats }
 // Find searches for a pipeline in g \ faults. faults may be nil (no
 // faults). The returned Result.Pipeline is freshly allocated.
 func (s *Solver) Find(faults bitset.Set) Result {
+	if s.reg.Enabled() {
+		start := time.Now()
+		before := tierDeltas(s.stats)
+		res := s.find(faults)
+		s.findTime.ObserveSince(start)
+		s.expansions.Add(res.Expansions)
+		for i, after := range tierDeltas(s.stats) {
+			if d := after - before[i]; d > 0 {
+				s.tiers[i].Add(d)
+			}
+		}
+		return res
+	}
+	return s.find(faults)
+}
+
+func (s *Solver) find(faults bitset.Set) Result {
 	ends, ok := s.endpoints(faults)
 	if !ok {
 		s.stats.Trivial++

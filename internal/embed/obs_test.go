@@ -1,0 +1,44 @@
+package embed_test
+
+import (
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/obs"
+)
+
+// TestFindRecordsObsMetrics checks the solver's wall-time histogram and
+// tier counters advance when the registry is enabled.
+func TestFindRecordsObsMetrics(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	reg.SetEnabled(true)
+	defer func() {
+		reg.SetEnabled(false)
+		reg.Reset()
+	}()
+
+	sol, err := construct.Design(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := embed.NewSolver(sol.Graph, embed.Options{Layout: sol.Layout})
+	res := s.Find(nil)
+	if !res.Found {
+		t.Fatal("no pipeline on the fault-free graph")
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms["embed_find_ns"]; h.Count != 1 || h.Max <= 0 {
+		t.Fatalf("embed_find_ns %+v, want one timed call", h)
+	}
+	var tiers int64
+	for k, v := range snap.Counters {
+		if len(k) >= len("embed_tier_total") && k[:len("embed_tier_total")] == "embed_tier_total" {
+			tiers += v
+		}
+	}
+	if tiers != 1 {
+		t.Fatalf("tier counters sum %d, want 1 (%v)", tiers, snap.Counters)
+	}
+}

@@ -30,15 +30,15 @@ type Config struct {
 // Table is one regenerated artifact: rows of measured results plus the
 // paper's claim for side-by-side comparison.
 type Table struct {
-	ID    string // experiment id from DESIGN.md (F2, T317, …)
-	Title string
-	Claim string // what the paper asserts
-	Cols  []string
-	Rows  [][]string
-	Notes []string
+	ID    string     `json:"id"` // experiment id from DESIGN.md (F2, T317, …)
+	Title string     `json:"title"`
+	Claim string     `json:"claim"` // what the paper asserts
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
 	// OK reports that every row matched the claim.
-	OK      bool
-	Elapsed time.Duration
+	OK      bool          `json:"ok"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // AddRow appends a formatted row.
@@ -141,15 +141,36 @@ func RunAll(cfg Config, w io.Writer) bool {
 	return ok
 }
 
+// CollectAll executes every experiment and returns the tables without
+// rendering them — the machine-readable path behind `gdpbench -json`.
+func CollectAll(cfg Config) ([]*Table, bool) {
+	ok := true
+	tables := make([]*Table, 0, len(registry))
+	for _, e := range registry {
+		tbl := timed(e, cfg)
+		tables = append(tables, tbl)
+		ok = ok && tbl.OK
+	}
+	return tables, ok
+}
+
 // RunOne executes a single experiment by id.
 func RunOne(id string, cfg Config, w io.Writer) (bool, error) {
-	e, found := ByID(id)
-	if !found {
-		return false, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	tbl, err := CollectOne(id, cfg)
+	if err != nil {
+		return false, err
 	}
-	tbl := timed(e, cfg)
 	tbl.Render(w)
 	return tbl.OK, nil
+}
+
+// CollectOne executes a single experiment by id and returns its table.
+func CollectOne(id string, cfg Config) (*Table, error) {
+	e, found := ByID(id)
+	if !found {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return timed(e, cfg), nil
 }
 
 func timed(e Experiment, cfg Config) *Table {

@@ -16,6 +16,7 @@ import (
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
 	"gdpn/internal/graph"
+	"gdpn/internal/obs"
 )
 
 // Model draws fault sets of a given size from a graph.
@@ -156,9 +157,12 @@ func (a Adversarial) Sample(rng *rand.Rand, g *graph.Graph, size int) bitset.Set
 // faults arrive in a deployed array. Deterministic per seed.
 type Injector struct {
 	g       *graph.Graph
+	model   string
 	seq     []int
 	next    int
 	current bitset.Set
+
+	injected *obs.Counter
 }
 
 // NewInjector draws a size-k fault set from the model and replays it one
@@ -168,10 +172,15 @@ func NewInjector(model Model, g *graph.Graph, k int, seed int64) *Injector {
 	set := model.Sample(rng, g, k)
 	seq := set.Slice()
 	rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
-	return &Injector{g: g, seq: seq, current: bitset.New(g.NumNodes())}
+	return &Injector{
+		g: g, model: model.Name(), seq: seq, current: bitset.New(g.NumNodes()),
+		injected: obs.Default().Counter("faults_injected_total", obs.L("model", model.Name())),
+	}
 }
 
 // Next reveals the next fault. ok is false when the sequence is exhausted.
+// Each revealed fault is counted and traced (node id, kind, model) through
+// the default obs registry.
 func (in *Injector) Next() (node int, ok bool) {
 	if in.next >= len(in.seq) {
 		return -1, false
@@ -179,6 +188,9 @@ func (in *Injector) Next() (node int, ok bool) {
 	node = in.seq[in.next]
 	in.next++
 	in.current.Add(node)
+	in.injected.Inc()
+	obs.Default().Eventf("fault_injected", "node=%d kind=%s model=%s %d/%d",
+		node, in.g.Kind(node), in.model, in.next, len(in.seq))
 	return node, true
 }
 

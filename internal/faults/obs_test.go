@@ -1,0 +1,55 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/faults"
+	"gdpn/internal/obs"
+)
+
+// TestInjectorTracesFaults checks each revealed fault is counted and
+// appears in the event trace with its node id and model name.
+func TestInjectorTracesFaults(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	reg.SetEnabled(true)
+	defer func() {
+		reg.SetEnabled(false)
+		reg.Reset()
+	}()
+
+	sol, err := construct.Design(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(faults.ProcessorsOnly{}, sol.Graph, 3, 7)
+	var revealed int
+	for {
+		if _, ok := inj.Next(); !ok {
+			break
+		}
+		revealed++
+	}
+	if revealed != 3 {
+		t.Fatalf("revealed %d faults, want 3", revealed)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[`faults_injected_total{model="processors-only"}`]; got != 3 {
+		t.Fatalf("injected counter %d, want 3 (%v)", got, s.Counters)
+	}
+	events := 0
+	for _, ev := range s.Events {
+		if ev.Name != "fault_injected" {
+			continue
+		}
+		events++
+		if !strings.Contains(ev.Fields, "node=") || !strings.Contains(ev.Fields, "model=processors-only") {
+			t.Fatalf("event fields %q missing node/model", ev.Fields)
+		}
+	}
+	if events != 3 {
+		t.Fatalf("%d fault_injected events, want 3", events)
+	}
+}

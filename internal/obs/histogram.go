@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers the full non-negative int64 range: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. bucket 0 holds v == 0 and
+// bucket i ≥ 1 holds v in [2^(i-1), 2^i).
+const numBuckets = 64
+
+// Histogram is a lock-free log₂-bucketed histogram of non-negative int64
+// observations (latencies are recorded in nanoseconds). Buckets grow
+// geometrically, so the relative quantile error is bounded by one octave
+// and the memory cost is constant; count, sum, min and max are tracked
+// exactly. Safe for concurrent use.
+type Histogram struct {
+	on     *atomic.Bool
+	name   string
+	labels []Label
+
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram(on *atomic.Bool, name string, labels []Label) *Histogram {
+	h := &Histogram{on: on, name: name, labels: labels}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64
+	return h
+}
+
+// Observe records v; negative values are clamped to 0. No-op when the
+// registry is disabled.
+func (h *Histogram) Observe(v int64) {
+	if !h.on.Load() {
+		return
+	}
+	h.observe(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+func (h *Histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(int64(^uint64(0) >> 1))
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the rank-⌈q·n⌉ observation and interpolating linearly within
+// its [2^(i-1), 2^i) range; the estimate is clamped to the exact observed
+// min and max, so Quantile(0) and Quantile(1) are exact.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			est := bucketValue(i, rank-cum, c)
+			if min := h.Min(); est < min {
+				est = min
+			}
+			if max := h.max.Load(); est > max {
+				est = max
+			}
+			return est
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// bucketValue interpolates the value of the pos-th of c observations
+// (1-based) inside bucket i.
+func bucketValue(i int, pos, c int64) int64 {
+	if i == 0 {
+		return 0
+	}
+	lo := int64(1) << (i - 1)
+	width := lo // bucket i spans [lo, 2·lo)
+	return lo + int64(float64(width)*float64(pos)/float64(c+1))
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time summary of a
+// histogram, used by the exporters.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Concurrent observations may land
+// between field reads; each field is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func enabledHist(name string) *Histogram {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	return r.Histogram(name)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := enabledHist("h")
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram has nonzero stats")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := enabledHist("h")
+	for _, v := range []int64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 100 || h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := enabledHist("h")
+	h.Observe(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative not clamped: %+v", h.Snapshot())
+	}
+}
+
+func TestHistogramSingleValueQuantiles(t *testing.T) {
+	h := enabledHist("h")
+	h.Observe(1000)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("Quantile(%v) = %d, want 1000 (min==max clamp)", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the log-bucket estimate stays
+// within one octave (factor of 2) of the exact quantile on a heavy
+// random workload — the designed error bound of 2^i-width buckets.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := enabledHist("h")
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 20000)
+	for i := range values {
+		// Log-uniform latencies from ~1µs to ~100ms in ns.
+		values[i] = int64(1000 * (1 << rng.Intn(17)))
+		values[i] += rng.Int63n(values[i])
+		h.Observe(values[i])
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := values[int(q*float64(len(values)))]
+		got := h.Quantile(q)
+		if got < exact/2 || got > exact*2 {
+			t.Fatalf("Quantile(%v) = %d, exact %d: outside one octave", q, got, exact)
+		}
+	}
+	if h.Quantile(1) != values[len(values)-1] {
+		t.Fatalf("Quantile(1) = %d, want exact max %d", h.Quantile(1), values[len(values)-1])
+	}
+	if h.Quantile(0) != values[0] {
+		t.Fatalf("Quantile(0) = %d, want exact min %d", h.Quantile(0), values[0])
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := enabledHist("h")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Observe(rng.Int63n(1 << 30))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d: not monotone", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := enabledHist("h")
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Sum() != int64(3*time.Millisecond) {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 2 || h.Max() < int64(time.Millisecond) {
+		t.Fatalf("ObserveSince: %+v", h.Snapshot())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := enabledHist("h")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1000 || s.Max != 100000 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.P50 <= s.Min || s.P50 >= s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantile ordering broken: %+v", s)
+	}
+}

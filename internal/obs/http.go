@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the Prometheus text exposition at any path it is
+// mounted on (conventionally /metrics).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TraceHandler serves the event trace, one line per event oldest-first
+// (conventionally mounted at /debug/trace). `?format=json` switches to a
+// JSON array of events.
+func (r *Registry) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		events := r.Trace()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(events)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range events {
+			_, _ = w.Write([]byte(e.String()))
+			_, _ = w.Write([]byte{'\n'})
+		}
+	})
+}
+
+// Mux returns a ServeMux with /metrics and /debug/trace mounted — what
+// `gdpsim -metrics-addr` serves.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/trace", r.TraceHandler())
+	return mux
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one entry in the fault/repair trace.
+type Event struct {
+	// Seq numbers events in arrival order across the whole trace, including
+	// events that have since been evicted from the ring.
+	Seq uint64 `json:"seq"`
+	// At is the monotonic time since registry creation.
+	At time.Duration `json:"at_ns"`
+	// Name is the event kind ("fault_injected", "repair", …).
+	Name string `json:"name"`
+	// Fields holds free-form `k=v` detail.
+	Fields string `json:"fields,omitempty"`
+}
+
+// String renders one trace line: `+12.345ms fault_injected node=5`.
+func (e Event) String() string {
+	if e.Fields == "" {
+		return fmt.Sprintf("+%-14v %s", e.At, e.Name)
+	}
+	return fmt.Sprintf("+%-14v %-20s %s", e.At, e.Name, e.Fields)
+}
+
+// Trace is a bounded ring buffer of events: when full, the oldest event
+// is evicted. Faults and repairs are rare relative to frames, so a small
+// mutex-guarded ring is cheap and keeps ordering exact.
+type Trace struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever added
+	cap  int
+}
+
+func newTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{ring: make([]Event, 0, capacity), cap: capacity}
+}
+
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Seq = t.next
+	t.next++
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[int(e.Seq)%t.cap] = e
+}
+
+// snapshot returns the buffered events oldest-first.
+func (t *Trace) snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) < t.cap {
+		return append(out, t.ring...)
+	}
+	// Full ring: the oldest event sits right after the newest slot.
+	start := int(t.next) % t.cap
+	out = append(out, t.ring[start:]...)
+	out = append(out, t.ring[:start]...)
+	return out
+}
+
+func (t *Trace) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = t.ring[:0]
+	t.next = 0
+}

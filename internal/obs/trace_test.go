@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTraceOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		r.Eventf("e", "i=%d", i)
+	}
+	ev := r.Trace()
+	if len(ev) != 10 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i) || e.Fields != fmt.Sprintf("i=%d", i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if i > 0 && e.At < ev[i-1].At {
+			t.Fatalf("timestamps not monotone: %v after %v", e.At, ev[i-1].At)
+		}
+	}
+}
+
+func TestTraceEviction(t *testing.T) {
+	tr := newTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.add(Event{Name: fmt.Sprintf("e%d", i)})
+	}
+	ev := tr.snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, want cap 4", len(ev))
+	}
+	// Oldest-first: events 6..9 survive.
+	for i, e := range ev {
+		want := fmt.Sprintf("e%d", 6+i)
+		if e.Name != want || e.Seq != uint64(6+i) {
+			t.Fatalf("slot %d = %+v, want name %s", i, e, want)
+		}
+	}
+}
+
+func TestTraceExactlyFull(t *testing.T) {
+	tr := newTrace(3)
+	for i := 0; i < 3; i++ {
+		tr.add(Event{Name: fmt.Sprintf("e%d", i)})
+	}
+	ev := tr.snapshot()
+	if len(ev) != 3 || ev[0].Name != "e0" || ev[2].Name != "e2" {
+		t.Fatalf("snapshot %+v", ev)
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := newTrace(2)
+	tr.add(Event{Name: "a"})
+	tr.reset()
+	if len(tr.snapshot()) != 0 {
+		t.Fatal("reset left events")
+	}
+	tr.add(Event{Name: "b"})
+	ev := tr.snapshot()
+	if len(ev) != 1 || ev[0].Seq != 0 {
+		t.Fatalf("post-reset %+v", ev)
+	}
+}

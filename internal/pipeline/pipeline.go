@@ -9,15 +9,26 @@
 // faults the pipeline still uses every healthy processor (verified on each
 // remap), so per-processor load grows by only n/(n−f) rather than dropping
 // processors wholesale.
+//
+// The engine is instrumented through internal/obs (disabled by default, so
+// hot paths pay one atomic load): per-frame end-to-end latency
+// (pipeline_frame_latency_ns), per-position stage processing time
+// (pipeline_stage_ns), channel-send stall time (pipeline_send_stall_ns),
+// per-epoch wall time and throughput (pipeline_epoch_ns,
+// pipeline_epoch_throughput_bps), and remap latency by operation
+// (pipeline_remap_ns{op="inject"|"repair"}).
 package pipeline
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdpn/internal/bitset"
 	"gdpn/internal/construct"
 	"gdpn/internal/graph"
+	"gdpn/internal/obs"
 	"gdpn/internal/reconfig"
 	"gdpn/internal/stages"
 )
@@ -49,8 +60,28 @@ type Engine struct {
 	mgr    *reconfig.Manager
 	stages []stages.Stage
 	assign [][]int // per pipeline position (processors only): logical stage indices
+
+	// frames is read by Metrics() while Process/ProcessSequential write it,
+	// so it lives outside the mutex as an atomic.
+	frames atomic.Int64
+	mu     sync.Mutex // guards the remaining Metrics fields
 	m      Metrics
+
+	reg         *obs.Registry
+	framesTotal *obs.Counter
+	frameLat    *obs.Histogram
+	stageTime   *obs.Histogram
+	sendStall   *obs.Histogram
+	epochTime   *obs.Histogram
+	epochTput   *obs.Gauge
+	procsInUse  *obs.Gauge
+	remapLat    [2]*obs.Histogram // indexed by opInject/opRepair
 }
+
+const (
+	opInject = 0
+	opRepair = 1
+)
 
 // New builds an engine over a designed solution and the given logical
 // stage chain, and maps the initial (fault-free) pipeline. The stage
@@ -64,8 +95,24 @@ func New(sol *construct.Solution, stgs []stages.Stage) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{g: sol.Graph, mgr: mgr, stages: stgs}
+	reg := obs.Default()
+	e := &Engine{
+		g: sol.Graph, mgr: mgr, stages: stgs,
+		reg:         reg,
+		framesTotal: reg.Counter("pipeline_frames_total"),
+		frameLat:    reg.Histogram("pipeline_frame_latency_ns"),
+		stageTime:   reg.Histogram("pipeline_stage_ns"),
+		sendStall:   reg.Histogram("pipeline_send_stall_ns"),
+		epochTime:   reg.Histogram("pipeline_epoch_ns"),
+		epochTput:   reg.Gauge("pipeline_epoch_throughput_bps"),
+		procsInUse:  reg.Gauge("pipeline_procs_in_use"),
+		remapLat: [2]*obs.Histogram{
+			reg.Histogram("pipeline_remap_ns", obs.L("op", "inject")),
+			reg.Histogram("pipeline_remap_ns", obs.L("op", "repair")),
+		},
+	}
 	e.assignStages()
+	e.procsInUse.Set(int64(e.ProcessorsInUse()))
 	return e, nil
 }
 
@@ -75,12 +122,24 @@ func (e *Engine) Pipeline() graph.Path { return e.mgr.Pipeline() }
 // ProcessorsInUse returns the number of processors in the current pipeline.
 func (e *Engine) ProcessorsInUse() int { return len(e.mgr.Pipeline()) - 2 }
 
-// Metrics returns a snapshot of the engine's counters.
-func (e *Engine) Metrics() Metrics { return e.m }
+// Metrics returns a consistent snapshot of the engine's counters. It is
+// safe to call while Process runs on another goroutine.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	m := e.m
+	e.mu.Unlock()
+	m.FramesProcessed = e.frames.Load()
+	return m
+}
 
 // StagesOn returns the logical stage indices assigned to pipeline position
-// pos (0-based over processors).
-func (e *Engine) StagesOn(pos int) []int { return e.assign[pos] }
+// pos (0-based over processors), or nil when pos is out of range.
+func (e *Engine) StagesOn(pos int) []int {
+	if pos < 0 || pos >= len(e.assign) {
+		return nil
+	}
+	return e.assign[pos]
+}
 
 // Inject marks a node faulty and repairs the pipeline — locally when one
 // of the reconfig tactics applies, by full recompute otherwise. It returns
@@ -92,11 +151,16 @@ func (e *Engine) Inject(node int) error {
 	if _, err := e.mgr.Fault(node); err != nil {
 		return fmt.Errorf("pipeline: %w", err)
 	}
-	e.m.RemapTime += time.Since(start)
+	elapsed := time.Since(start)
+	e.mu.Lock()
+	e.m.RemapTime += elapsed
 	e.m.FaultsInjected++
 	e.m.Remaps++
 	e.m.Repairs = e.mgr.Stats()
+	e.mu.Unlock()
 	e.assignStages()
+	e.remapLat[opInject].ObserveDuration(elapsed)
+	e.procsInUse.Set(int64(e.ProcessorsInUse()))
 	return nil
 }
 
@@ -106,10 +170,15 @@ func (e *Engine) Repair(node int) error {
 	if _, err := e.mgr.Repair(node); err != nil {
 		return fmt.Errorf("pipeline: %w", err)
 	}
-	e.m.RemapTime += time.Since(start)
+	elapsed := time.Since(start)
+	e.mu.Lock()
+	e.m.RemapTime += elapsed
 	e.m.Remaps++
 	e.m.Repairs = e.mgr.Stats()
+	e.mu.Unlock()
 	e.assignStages()
+	e.remapLat[opRepair].ObserveDuration(elapsed)
+	e.procsInUse.Set(int64(e.ProcessorsInUse()))
 	return nil
 }
 
@@ -137,6 +206,16 @@ func (e *Engine) assignStages() {
 // transformed frames in order. Stages with internal state carry it across
 // calls. Faults are injected between Process calls (epoch model).
 func (e *Engine) Process(frames []Frame) []Frame {
+	// Sampled once per epoch: the per-frame clock reads below key off this
+	// local, so a disabled registry costs no time.Now() calls in the loop.
+	observing := e.reg.Enabled()
+	var epochStart time.Time
+	var starts []time.Time
+	if observing {
+		epochStart = time.Now()
+		starts = make([]time.Time, len(frames))
+	}
+
 	L := len(e.assign)
 	chans := make([]chan Frame, L+1)
 	for i := range chans {
@@ -146,36 +225,69 @@ func (e *Engine) Process(frames []Frame) []Frame {
 		go func(pos int) {
 			owned := e.assign[pos]
 			for f := range chans[pos] {
+				var work time.Time
+				if observing {
+					work = time.Now()
+				}
 				data := f.Data
 				for _, si := range owned {
 					data = e.stages[si].Process(data)
 				}
 				// Copy: stage output buffers are reused per instance.
 				out := Frame{Seq: f.Seq, Data: append([]float64(nil), data...)}
-				chans[pos+1] <- out
+				if observing {
+					e.stageTime.ObserveSince(work)
+					stall := time.Now()
+					chans[pos+1] <- out
+					e.sendStall.ObserveSince(stall)
+				} else {
+					chans[pos+1] <- out
+				}
 			}
 			close(chans[pos+1])
 		}(i)
 	}
 	go func() {
-		for _, f := range frames {
+		for i, f := range frames {
+			if observing {
+				// Written before the send; the channel chain's happens-before
+				// edges make it visible to the collector below.
+				starts[i] = time.Now()
+			}
 			chans[0] <- f
 		}
 		close(chans[0])
 	}()
 	out := make([]Frame, 0, len(frames))
 	for f := range chans[L] {
+		if observing {
+			// Frames exit in input order, so out position == input index.
+			e.frameLat.ObserveSince(starts[len(out)])
+		}
 		out = append(out, f)
 	}
-	e.m.FramesProcessed += int64(len(out))
+	e.frames.Add(int64(len(out)))
+	e.framesTotal.Add(int64(len(out)))
+	if observing {
+		e.observeEpoch(frames, time.Since(epochStart))
+	}
 	return out
 }
 
 // ProcessSequential applies the stage chain to the frames on the calling
 // goroutine — the reference implementation Process is tested against.
 func (e *Engine) ProcessSequential(frames []Frame) []Frame {
+	observing := e.reg.Enabled()
+	var epochStart time.Time
+	if observing {
+		epochStart = time.Now()
+	}
 	out := make([]Frame, 0, len(frames))
 	for _, f := range frames {
+		var start time.Time
+		if observing {
+			start = time.Now()
+		}
 		data := f.Data
 		for _, owned := range e.assign {
 			for _, si := range owned {
@@ -183,9 +295,30 @@ func (e *Engine) ProcessSequential(frames []Frame) []Frame {
 			}
 		}
 		out = append(out, Frame{Seq: f.Seq, Data: append([]float64(nil), data...)})
+		if observing {
+			e.frameLat.ObserveSince(start)
+		}
 	}
-	e.m.FramesProcessed += int64(len(out))
+	e.frames.Add(int64(len(out)))
+	e.framesTotal.Add(int64(len(out)))
+	if observing {
+		e.observeEpoch(frames, time.Since(epochStart))
+	}
 	return out
+}
+
+// observeEpoch records the epoch wall time and input throughput (bytes of
+// float64 samples per second).
+func (e *Engine) observeEpoch(frames []Frame, elapsed time.Duration) {
+	e.epochTime.ObserveDuration(elapsed)
+	if elapsed <= 0 {
+		return
+	}
+	samples := 0
+	for _, f := range frames {
+		samples += len(f.Data)
+	}
+	e.epochTput.Set(int64(float64(samples*8) / elapsed.Seconds()))
 }
 
 // Faults returns the currently injected fault set (aliased; do not modify).

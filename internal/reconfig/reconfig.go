@@ -20,11 +20,13 @@ package reconfig
 
 import (
 	"fmt"
+	"time"
 
 	"gdpn/internal/bitset"
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
 	"gdpn/internal/graph"
+	"gdpn/internal/obs"
 	"gdpn/internal/verify"
 )
 
@@ -81,6 +83,12 @@ type Manager struct {
 	faults bitset.Set
 	path   graph.Path
 	stats  Stats
+
+	reg          *obs.Registry
+	repairLat    [FullRemap + 1]*obs.Histogram // per-tactic repair latency
+	repairCount  [FullRemap + 1]*obs.Counter   // per-tactic repair counts
+	certFailures *obs.Counter                  // invalid local repairs caught by the certificate check
+	fallbacks    *obs.Counter                  // local tactics exhausted → full recompute
 }
 
 // New computes the initial (fault-free) pipeline for a designed solution.
@@ -89,7 +97,15 @@ func New(sol *construct.Solution) (*Manager, error) {
 		g:      sol.Graph,
 		solver: embed.NewSolver(sol.Graph, embed.Options{Layout: sol.Layout}),
 		faults: bitset.New(sol.Graph.NumNodes()),
+		reg:    obs.Default(),
 	}
+	for t := NoChange; t <= FullRemap; t++ {
+		lbl := obs.L("tactic", t.String())
+		m.repairLat[t] = m.reg.Histogram("reconfig_repair_ns", lbl)
+		m.repairCount[t] = m.reg.Counter("reconfig_repairs_total", lbl)
+	}
+	m.certFailures = m.reg.Counter("reconfig_cert_failures_total")
+	m.fallbacks = m.reg.Counter("reconfig_full_remap_fallback_total")
 	if err := m.fullRemap(); err != nil {
 		return nil, err
 	}
@@ -117,6 +133,11 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 	if m.faults.Contains(node) {
 		return 0, fmt.Errorf("reconfig: node %d already faulty", node)
 	}
+	observing := m.reg.Enabled()
+	var start time.Time
+	if observing {
+		start = time.Now()
+	}
 	m.faults.Add(node)
 
 	idx := -1
@@ -130,6 +151,7 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 		// Not on the pipeline: only unused terminals qualify (every healthy
 		// processor is on the pipeline by definition).
 		m.stats.NoChange++
+		m.observeRepair(NoChange, start, node, observing)
 		return NoChange, nil
 	}
 
@@ -141,18 +163,40 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 	default:
 		repaired, tactic = m.repairInterior(idx)
 	}
-	if repaired != nil && verify.CheckPipeline(m.g, m.faults, repaired) == nil {
-		m.stats.MovedStages += movedStages(m.path, repaired)
-		m.path = repaired
-		m.bump(tactic)
-		return tactic, nil
+	if repaired != nil {
+		if verify.CheckPipeline(m.g, m.faults, repaired) == nil {
+			m.stats.MovedStages += movedStages(m.path, repaired)
+			m.path = repaired
+			m.bump(tactic)
+			m.observeRepair(tactic, start, node, observing)
+			return tactic, nil
+		}
+		// A local tactic produced an invalid pipeline; the certificate
+		// check caught it and we degrade to the full recompute.
+		m.certFailures.Inc()
+		m.reg.Eventf("cert_check_failed", "node=%d tactic=%s", node, tactic)
 	}
 	// Local tactics failed (or produced something invalid): full remap.
+	m.fallbacks.Inc()
+	m.reg.Eventf("full_remap_fallback", "node=%d", node)
 	if err := m.fullRemap(); err != nil {
 		m.faults.Remove(node)
+		m.reg.Eventf("repair_failed", "node=%d err=%v", node, err)
 		return 0, err
 	}
+	m.observeRepair(FullRemap, start, node, observing)
 	return FullRemap, nil
+}
+
+// observeRepair records the latency histogram, per-tactic counter, and
+// trace event for one completed repair.
+func (m *Manager) observeRepair(t Tactic, start time.Time, node int, observing bool) {
+	if !observing {
+		return
+	}
+	m.repairLat[t].ObserveSince(start)
+	m.repairCount[t].Inc()
+	m.reg.Eventf("repair", "node=%d tactic=%s procs=%d", node, t, len(m.path)-2)
 }
 
 // Repair marks a node healthy again and re-inserts it into the pipeline
@@ -162,10 +206,16 @@ func (m *Manager) Repair(node int) (Tactic, error) {
 	if node < 0 || node >= m.g.NumNodes() || !m.faults.Contains(node) {
 		return 0, fmt.Errorf("reconfig: node %d is not faulty", node)
 	}
+	observing := m.reg.Enabled()
+	var start time.Time
+	if observing {
+		start = time.Now()
+	}
 	m.faults.Remove(node)
 	if m.g.Kind(node) != graph.Processor {
 		// A repaired terminal changes nothing until an endpoint needs it.
 		m.stats.NoChange++
+		m.observeRepair(NoChange, start, node, observing)
 		return NoChange, nil
 	}
 	// Insert between some adjacent pipeline pair.
@@ -178,14 +228,19 @@ func (m *Manager) Repair(node int) (Tactic, error) {
 			if verify.CheckPipeline(m.g, m.faults, repaired) == nil {
 				m.path = repaired
 				m.stats.Insert++
+				m.observeRepair(Insert, start, node, observing)
 				return Insert, nil
 			}
 		}
 	}
+	m.fallbacks.Inc()
+	m.reg.Eventf("full_remap_fallback", "node=%d", node)
 	if err := m.fullRemap(); err != nil {
 		m.faults.Add(node)
+		m.reg.Eventf("repair_failed", "node=%d err=%v", node, err)
 		return 0, err
 	}
+	m.observeRepair(FullRemap, start, node, observing)
 	return FullRemap, nil
 }
 

@@ -1,0 +1,225 @@
+package reconfig_test
+
+// Crafted-topology tests pinning down WHICH tactic repairs which fault
+// shape — the attribution behind reconfig.Stats and the per-tactic obs
+// counters. Each graph is built by hand so exactly one pipeline exists
+// before the fault and the intended tactic is the one that must fire.
+
+import (
+	"testing"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/graph"
+	"gdpn/internal/reconfig"
+)
+
+// pathOf asserts the manager's current pipeline equals want.
+func pathOf(t *testing.T, m *reconfig.Manager, want ...int) {
+	t.Helper()
+	got := m.Pipeline()
+	if len(got) != len(want) {
+		t.Fatalf("pipeline %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pipeline %v, want %v", got, want)
+		}
+	}
+}
+
+func managerFor(t *testing.T, g *graph.Graph) *reconfig.Manager {
+	t.Helper()
+	m, err := reconfig.New(&construct.Solution{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSpliceAttribution: triangle p0–p1–p2 (plus chord p0–p2). The only
+// initial pipeline is i,p0,p1,p2,o; faulting p1 leaves its neighbors
+// adjacent, so the repair MUST be a splice.
+func TestSpliceAttribution(t *testing.T) {
+	g := graph.New("splice-test")
+	p0 := g.AddNode(graph.Processor, 0)
+	p1 := g.AddNode(graph.Processor, 1)
+	p2 := g.AddNode(graph.Processor, 2)
+	in := g.AddNode(graph.InputTerminal, 0)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(p0, p1)
+	g.AddEdge(p1, p2)
+	g.AddEdge(p0, p2)
+	g.AddEdge(in, p0)
+	g.AddEdge(out, p2)
+
+	m := managerFor(t, g)
+	pathOf(t, m, in, p0, p1, p2, out)
+	tac, err := m.Fault(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tac != reconfig.Splice {
+		t.Fatalf("tactic = %v, want splice", tac)
+	}
+	pathOf(t, m, in, p0, p2, out)
+	if st := m.Stats(); st.Splice != 1 || st.Rewire+st.EndpointSwap+st.FullRemap+st.Insert+st.NoChange != 0 {
+		t.Fatalf("stats %+v, want exactly one splice", st)
+	}
+
+	// Repairing p1 must re-insert it between an adjacent pair (Insert).
+	tac, err = m.Repair(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tac != reconfig.Insert {
+		t.Fatalf("repair tactic = %v, want insert", tac)
+	}
+	if st := m.Stats(); st.Insert != 1 {
+		t.Fatalf("stats %+v, want one insert", st)
+	}
+	if got := len(m.Pipeline()) - 2; got != 3 {
+		t.Fatalf("repaired pipeline covers %d processors, want 3", got)
+	}
+}
+
+// TestRewireAttribution: chain a–b–c–d with chord a–d and the output
+// reachable from both c and d. The only initial pipeline is i,a,b,c,d,o;
+// faulting b makes a and c non-adjacent (no splice) while the 2-opt
+// reversal a,(d,c),o exists — the repair MUST be a rewire.
+func TestRewireAttribution(t *testing.T) {
+	g := graph.New("rewire-test")
+	a := g.AddNode(graph.Processor, 0)
+	b := g.AddNode(graph.Processor, 1)
+	c := g.AddNode(graph.Processor, 2)
+	d := g.AddNode(graph.Processor, 3)
+	in := g.AddNode(graph.InputTerminal, 0)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, d)
+	g.AddEdge(a, d)
+	g.AddEdge(in, a)
+	g.AddEdge(out, c)
+	g.AddEdge(out, d)
+
+	m := managerFor(t, g)
+	pathOf(t, m, in, a, b, c, d, out)
+	tac, err := m.Fault(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tac != reconfig.Rewire {
+		t.Fatalf("tactic = %v, want rewire", tac)
+	}
+	pathOf(t, m, in, a, d, c, out)
+	if st := m.Stats(); st.Rewire != 1 || st.Splice+st.EndpointSwap+st.FullRemap != 0 {
+		t.Fatalf("stats %+v, want exactly one rewire", st)
+	}
+}
+
+// TestEndpointSwapAttribution: two input terminals share the border
+// processor; killing the one in use MUST swap to its sibling without
+// touching the processor order.
+func TestEndpointSwapAttribution(t *testing.T) {
+	g := graph.New("endpoint-swap-test")
+	a := g.AddNode(graph.Processor, 0)
+	b := g.AddNode(graph.Processor, 1)
+	i1 := g.AddNode(graph.InputTerminal, 0)
+	i2 := g.AddNode(graph.InputTerminal, 1)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(a, b)
+	g.AddEdge(i1, a)
+	g.AddEdge(i2, a)
+	g.AddEdge(out, b)
+
+	m := managerFor(t, g)
+	used := m.Pipeline()[0]
+	other := i1
+	if used == i1 {
+		other = i2
+	} else if used != i2 {
+		t.Fatalf("pipeline %v does not start at an input terminal", m.Pipeline())
+	}
+	tac, err := m.Fault(used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tac != reconfig.EndpointSwap {
+		t.Fatalf("tactic = %v, want endpoint-swap", tac)
+	}
+	pathOf(t, m, other, a, b, out)
+	if st := m.Stats(); st.EndpointSwap != 1 || st.FullRemap != 0 {
+		t.Fatalf("stats %+v, want exactly one endpoint swap", st)
+	}
+}
+
+// TestFullRemapAttribution: each processor carries one input and one
+// output terminal, but the spares sit on the OTHER processor, so a failed
+// terminal cannot be swapped at its border processor — the repair MUST
+// fall back to a full solver recompute (which reverses the pipeline).
+func TestFullRemapAttribution(t *testing.T) {
+	g := graph.New("full-remap-test")
+	a := g.AddNode(graph.Processor, 0)
+	b := g.AddNode(graph.Processor, 1)
+	i1 := g.AddNode(graph.InputTerminal, 0)
+	i2 := g.AddNode(graph.InputTerminal, 1)
+	o1 := g.AddNode(graph.OutputTerminal, 0)
+	o2 := g.AddNode(graph.OutputTerminal, 1)
+	g.AddEdge(a, b)
+	g.AddEdge(i1, a)
+	g.AddEdge(o2, a)
+	g.AddEdge(i2, b)
+	g.AddEdge(o1, b)
+
+	m := managerFor(t, g)
+	first := m.Pipeline()[0]
+	if g.Kind(first) != graph.InputTerminal {
+		t.Fatalf("pipeline %v does not start at an input terminal", m.Pipeline())
+	}
+	tac, err := m.Fault(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tac != reconfig.FullRemap {
+		t.Fatalf("tactic = %v, want full-remap", tac)
+	}
+	if st := m.Stats(); st.FullRemap != 1 || st.EndpointSwap != 0 {
+		t.Fatalf("stats %+v, want exactly one full remap", st)
+	}
+	// The recomputed pipeline still covers both processors from the
+	// surviving terminal pair.
+	if got := len(m.Pipeline()) - 2; got != 2 {
+		t.Fatalf("full remap covers %d processors, want 2", got)
+	}
+}
+
+// TestTacticSequenceAccumulates: a crafted sequence across one graph
+// exercises splice then insert then splice again, and the stats must
+// accumulate rather than reset between repairs.
+func TestTacticSequenceAccumulates(t *testing.T) {
+	g := graph.New("sequence-test")
+	p0 := g.AddNode(graph.Processor, 0)
+	p1 := g.AddNode(graph.Processor, 1)
+	p2 := g.AddNode(graph.Processor, 2)
+	in := g.AddNode(graph.InputTerminal, 0)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(p0, p1)
+	g.AddEdge(p1, p2)
+	g.AddEdge(p0, p2)
+	g.AddEdge(in, p0)
+	g.AddEdge(out, p2)
+
+	m := managerFor(t, g)
+	for round := 1; round <= 3; round++ {
+		if tac, err := m.Fault(p1); err != nil || tac != reconfig.Splice {
+			t.Fatalf("round %d fault: tactic %v err %v", round, tac, err)
+		}
+		if tac, err := m.Repair(p1); err != nil || tac != reconfig.Insert {
+			t.Fatalf("round %d repair: tactic %v err %v", round, tac, err)
+		}
+	}
+	st := m.Stats()
+	if st.Splice != 3 || st.Insert != 3 {
+		t.Fatalf("stats %+v, want 3 splices and 3 inserts", st)
+	}
+}

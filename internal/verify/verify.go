@@ -54,26 +54,26 @@ type Options struct {
 
 // FaultSetRecord describes one fault set with an abnormal outcome.
 type FaultSetRecord struct {
-	Nodes []int
-	Err   string
+	Nodes []int  `json:"nodes"`
+	Err   string `json:"err"`
 }
 
 // Report aggregates a verification run.
 type Report struct {
-	GraphName string
-	K         int
-	Checked   int64
+	GraphName string `json:"graph_name"`
+	K         int    `json:"k"`
+	Checked   int64  `json:"checked"`
 	// Failures are fault sets with NO pipeline: counterexamples to GD(G,k).
-	Failures []FaultSetRecord
+	Failures []FaultSetRecord `json:"failures,omitempty"`
 	// FailureCount counts all failures, including unrecorded ones.
-	FailureCount int64
+	FailureCount int64 `json:"failure_count"`
 	// Unknowns are fault sets on which the solver exhausted its budget.
-	Unknowns     []FaultSetRecord
-	UnknownCount int64
+	Unknowns     []FaultSetRecord `json:"unknowns,omitempty"`
+	UnknownCount int64            `json:"unknown_count"`
 	// SolverBugs are fault sets where a solver returned an invalid
 	// pipeline (should be impossible; recorded rather than trusted).
-	SolverBugs []FaultSetRecord
-	Duration   time.Duration
+	SolverBugs []FaultSetRecord `json:"solver_bugs,omitempty"`
+	Duration   time.Duration    `json:"duration_ns"`
 }
 
 // OK reports whether the run proves (exhaustive) or is consistent with
