@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-snapshot vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-snapshot regenerates the committed benchmark baseline: the quick
+# experiment tables plus the runtime metrics registry (solver timings,
+# tier and warm-start hit counters, orbit-pruning totals) as one JSON
+# blob. Compare a fresh snapshot against BENCH_baseline.json to spot
+# verdict or performance regressions; commit the new file when a change
+# intentionally moves the numbers.
+bench-snapshot:
+	$(GO) run ./cmd/gdpbench -quick -symmetry -json > BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"

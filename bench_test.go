@@ -12,10 +12,12 @@ import (
 	"testing"
 
 	"gdpn/internal/bitset"
+	"gdpn/internal/combin"
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
 	"gdpn/internal/experiments"
 	"gdpn/internal/faults"
+	"gdpn/internal/graph"
 	"gdpn/internal/pipeline"
 	"gdpn/internal/search"
 	"gdpn/internal/stages"
@@ -219,6 +221,117 @@ func BenchmarkStreamingRemapLatency(b *testing.B) {
 			b.Fatal("remap failed")
 		}
 	}
+}
+
+// benchSymmetryAB times the orbit-reduced exhaustive run and checks it
+// against a full-enumeration reference: same verdict, all fault sets
+// covered, and at least minReduction× fewer solver calls.
+func benchSymmetryAB(b *testing.B, g *graph.Graph, k int, opts verify.Options, minReduction float64) {
+	b.Helper()
+	off := opts
+	off.ExploitSymmetry = false
+	on := opts
+	on.ExploitSymmetry = true
+	ref := verify.Exhaustive(g, k, off)
+	b.ResetTimer()
+	var rep *verify.Report
+	for i := 0; i < b.N; i++ {
+		rep = verify.Exhaustive(g, k, on)
+	}
+	b.StopTimer()
+	if rep.OK() != ref.OK() || (rep.FailureCount > 0) != (ref.FailureCount > 0) {
+		b.Fatalf("verdict mismatch: symmetry OK=%v, full OK=%v", rep.OK(), ref.OK())
+	}
+	if rep.Represented != ref.Checked {
+		b.Fatalf("symmetry run covers %d fault sets, full enumeration has %d", rep.Represented, ref.Checked)
+	}
+	reduction := float64(ref.Checked) / float64(rep.Checked)
+	if reduction < minReduction {
+		b.Fatalf("orbit reduction %.2fx below required %.1fx (%d vs %d solver calls)",
+			reduction, minReduction, rep.Checked, ref.Checked)
+	}
+	b.ReportMetric(float64(rep.Checked), "solver-calls")
+	b.ReportMetric(reduction, "reduction-x")
+}
+
+// BenchmarkSymmetryReduction A/Bs ExploitSymmetry against full
+// enumeration. G3,5 has a 32-element automorphism group, so orbit
+// pruning must deliver at least a 5× cut in solver calls; the asymptotic
+// family only has the I/O reflection (order 2), so ~2× is the honest
+// ceiling there.
+func BenchmarkSymmetryReduction(b *testing.B) {
+	b.Run("G3k5", func(b *testing.B) {
+		benchSymmetryAB(b, construct.G3(5), 5, verify.Options{}, 5)
+	})
+	b.Run("AsymptoticN16K4", func(b *testing.B) {
+		g, lay, err := construct.Asymptotic(16, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSymmetryAB(b, g, 2, verify.Options{Solver: embed.Options{Layout: lay}}, 1.5)
+	})
+}
+
+// BenchmarkBitsetFaultSetUpdate compares the two ways a verification
+// worker can maintain its fault bitset while walking sorted k-subsets of
+// a large universe: clearing and re-adding all k members every step, or
+// applying only the sorted-set delta (what verify.Exhaustive does).
+// Clear touches every word of the universe; the delta touches O(k).
+func BenchmarkBitsetFaultSetUpdate(b *testing.B) {
+	const n, k = 100_000, 6
+	reset := func(fs bitset.Set, sub []int) {
+		fs.Clear()
+		for i := range sub {
+			sub[i] = i
+			fs.Add(i)
+		}
+	}
+	b.Run("ClearRebuild", func(b *testing.B) {
+		fs := bitset.New(n)
+		sub := make([]int, k)
+		reset(fs, sub)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !combin.NextSubset(n, sub) {
+				reset(fs, sub)
+			}
+			fs.Clear()
+			for _, v := range sub {
+				fs.Add(v)
+			}
+		}
+	})
+	b.Run("Delta", func(b *testing.B) {
+		fs := bitset.New(n)
+		sub := make([]int, k)
+		reset(fs, sub)
+		prev := make([]int, k)
+		copy(prev, sub)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !combin.NextSubset(n, sub) {
+				reset(fs, sub)
+			}
+			// Two-pointer sorted diff, applied in place.
+			pi, ci := 0, 0
+			for pi < len(prev) || ci < len(sub) {
+				switch {
+				case ci == len(sub) || (pi < len(prev) && prev[pi] < sub[ci]):
+					fs.Remove(prev[pi])
+					pi++
+				case pi == len(prev) || sub[ci] < prev[pi]:
+					fs.Add(sub[ci])
+					ci++
+				default:
+					pi++
+					ci++
+				}
+			}
+			copy(prev, sub)
+		}
+	})
 }
 
 func BenchmarkFaultModelAdversarial(b *testing.B) {

@@ -41,6 +41,7 @@ func main() {
 		run     = flag.String("run", "", "run a single experiment id (see -list)")
 		list    = flag.Bool("list", false, "list experiment ids")
 		seed    = flag.Int64("seed", 1, "random seed")
+		symm    = flag.Bool("symmetry", false, "orbit-reduced exhaustive verification inside every experiment")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (tables + metrics) on stdout")
 	)
 	flag.Parse()
@@ -51,7 +52,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Symmetry: *symm}
 	if *jsonOut {
 		// Collect runtime metrics (solver wall time, tier hit rates) along
 		// with the tables.

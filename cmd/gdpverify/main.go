@@ -9,6 +9,7 @@
 //	gdpverify -n 10 -k 2 -merge           # merged model, processor faults only
 //	gdpverify -n 10 -k 2 -certify g.certs # write one witness per fault set
 //	gdpverify -n 10 -k 2 -replay g.certs  # re-check witnesses (no solver trust)
+//	gdpverify -n 22 -k 4 -symmetry        # orbit-reduced exhaustive proof
 //	gdpverify -n 22 -k 4 -json            # machine-readable report + metrics
 package main
 
@@ -34,6 +35,7 @@ func main() {
 		work    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		certify = flag.String("certify", "", "write a certificate file (one witness per fault set)")
 		replay  = flag.String("replay", "", "replay a certificate file instead of searching")
+		symm    = flag.Bool("symmetry", false, "exhaustive mode: solve one representative per automorphism orbit of fault sets")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (report + metrics) on stdout")
 	)
 	flag.Parse()
@@ -52,7 +54,7 @@ func main() {
 		os.Exit(1)
 	}
 	g := sol.Graph
-	opts := verify.Options{Workers: *work, Solver: embed.Options{Layout: sol.Layout}}
+	opts := verify.Options{Workers: *work, Solver: embed.Options{Layout: sol.Layout}, ExploitSymmetry: *symm}
 	if *merge {
 		g = construct.Merge(g)
 		opts.Universe = verify.ProcessorsOnly

@@ -59,19 +59,33 @@ func Subsets(n, k int, fn func(sub []int) bool) int64 {
 		if !fn(sub) {
 			return visited
 		}
-		// Advance to the next k-subset in lexicographic order.
-		i := k - 1
-		for i >= 0 && sub[i] == n-k+i {
-			i--
-		}
-		if i < 0 {
+		if !NextSubset(n, sub) {
 			return visited
 		}
-		sub[i]++
-		for j := i + 1; j < k; j++ {
-			sub[j] = sub[j-1] + 1
-		}
 	}
+}
+
+// NextSubset advances sub — a strictly increasing k-subset of {0..n-1} — to
+// its lexicographic successor in place. It returns false (leaving sub
+// unchanged) when sub is already the last subset, {n-k..n-1}. The exhaustive
+// verifier iterates rank ranges with NextSubset instead of calling Unrank
+// per rank: advancing is O(k) and, crucially, touches only a suffix of sub,
+// which lets callers derive the incremental fault-set delta between
+// consecutive ranks.
+func NextSubset(n int, sub []int) bool {
+	k := len(sub)
+	i := k - 1
+	for i >= 0 && sub[i] == n-k+i {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	sub[i]++
+	for j := i + 1; j < k; j++ {
+		sub[j] = sub[j-1] + 1
+	}
+	return true
 }
 
 // SubsetsUpTo calls fn for every subset of {0..n-1} of size at most k

@@ -132,6 +132,81 @@ func TestRankUnrankRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNextSubsetAgreesWithUnrank is the property the chunked exhaustive
+// verifier depends on: unranking rank r and advancing with NextSubset must
+// land exactly on the unranking of rank r+1, at every rank — including the
+// boundaries where workers hand off chunks (first, last, chunk edges).
+func TestNextSubsetAgreesWithUnrank(t *testing.T) {
+	for _, c := range []struct{ n, k int }{
+		{5, 1}, {5, 3}, {10, 2}, {12, 4}, {23, 3}, {9, 5},
+	} {
+		total := Binomial(c.n, c.k)
+		// Boundary ranks: first, second, last two, and synthetic chunk edges
+		// at total/7 strides (both sides of each edge).
+		ranks := map[int64]bool{0: true}
+		if total > 1 {
+			ranks[1], ranks[total-2], ranks[total-1] = true, true, true
+		}
+		if per := total / 7; per > 0 {
+			for from := per; from < total; from += per {
+				ranks[from-1] = true
+				ranks[from] = true
+			}
+		}
+		cur := make([]int, c.k)
+		next := make([]int, c.k)
+		for r := range ranks {
+			if r+1 >= total {
+				continue
+			}
+			Unrank(c.n, c.k, r, cur)
+			if !NextSubset(c.n, cur) {
+				t.Fatalf("n=%d k=%d: NextSubset claimed rank %d is last of %d", c.n, c.k, r, total)
+			}
+			Unrank(c.n, c.k, r+1, next)
+			for i := range cur {
+				if cur[i] != next[i] {
+					t.Fatalf("n=%d k=%d rank %d: advance = %v, Unrank(r+1) = %v", c.n, c.k, r, cur, next)
+				}
+			}
+		}
+		// The last subset must refuse to advance and stay unchanged.
+		Unrank(c.n, c.k, total-1, cur)
+		copy(next, cur)
+		if NextSubset(c.n, cur) {
+			t.Fatalf("n=%d k=%d: last subset advanced", c.n, c.k)
+		}
+		for i := range cur {
+			if cur[i] != next[i] {
+				t.Fatalf("n=%d k=%d: failed NextSubset mutated sub: %v -> %v", c.n, c.k, next, cur)
+			}
+		}
+	}
+}
+
+// Exhaustive version of the same property on a small instance: every single
+// rank transition agrees, not just boundaries.
+func TestNextSubsetAgreesWithUnrankExhaustive(t *testing.T) {
+	const n, k = 11, 4
+	total := Binomial(n, k)
+	cur := Unrank(n, k, 0, make([]int, k))
+	next := make([]int, k)
+	for r := int64(1); r < total; r++ {
+		if !NextSubset(n, cur) {
+			t.Fatalf("NextSubset stopped at rank %d of %d", r-1, total)
+		}
+		Unrank(n, k, r, next)
+		for i := range cur {
+			if cur[i] != next[i] {
+				t.Fatalf("rank %d: advance = %v, unrank = %v", r, cur, next)
+			}
+		}
+	}
+	if NextSubset(n, cur) {
+		t.Fatal("NextSubset advanced past the last subset")
+	}
+}
+
 func TestUnrankDstMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -141,14 +141,24 @@ type Solver struct {
 	// Scratch reused across calls.
 	procs   []int // processor node ids
 	procIdx []int // node id -> processor index, -1 otherwise
-	healthy []int // healthy processor indices (into procs)
+	healthy []int // healthy processor node ids, ascending
 	dpTable []uint32
 	bt      *backtracker
+
+	// Warm endpoint state for FindDelta: the healthy list and the
+	// start/end candidate sets left behind by the previous call, valid for
+	// exactly the fault set that call solved. FindDelta patches it from the
+	// caller-supplied delta instead of rescanning every node.
+	warmValid            bool
+	warmStart, warmEnd   bitset.Set
+	warmHits, warmMisses int64
 
 	reg        *obs.Registry
 	findTime   *obs.Histogram  // wall time per Find call
 	expansions *obs.Counter    // DFS node expansions / DP transitions
 	tiers      [6]*obs.Counter // per-tier resolutions, same order as tierDeltas
+	warmHit    *obs.Counter
+	warmMiss   *obs.Counter
 }
 
 // NewSolver returns a Solver for g.
@@ -165,12 +175,16 @@ func NewSolver(g *graph.Graph, opts Options) *Solver {
 	if s.opts.Budget == 0 {
 		s.opts.Budget = DefaultBudget
 	}
+	s.warmStart = bitset.New(g.NumNodes())
+	s.warmEnd = bitset.New(g.NumNodes())
 	s.reg = obs.Default()
 	s.findTime = s.reg.Histogram("embed_find_ns")
 	s.expansions = s.reg.Counter("embed_expansions_total")
 	for i, name := range tierNames {
 		s.tiers[i] = s.reg.Counter("embed_tier_total", obs.L("tier", name))
 	}
+	s.warmHit = s.reg.Counter("embed_warm_total", obs.L("result", "hit"))
+	s.warmMiss = s.reg.Counter("embed_warm_total", obs.L("result", "miss"))
 	return s
 }
 
@@ -185,12 +199,37 @@ func tierDeltas(t TierStats) [6]int64 {
 func (s *Solver) Stats() TierStats { return s.stats }
 
 // Find searches for a pipeline in g \ faults. faults may be nil (no
-// faults). The returned Result.Pipeline is freshly allocated.
+// faults). The returned Result.Pipeline is freshly allocated. Find rebuilds
+// the endpoint state from scratch (and leaves it warm for a subsequent
+// FindDelta).
 func (s *Solver) Find(faults bitset.Set) Result {
+	return s.timed(faults, nil, nil, false)
+}
+
+// FindDelta is Find for a fault set that differs from the previous call's
+// by a known delta: removed lists the node ids that left the fault set and
+// added the ids that entered it, and faults must already reflect both. When
+// the previous call left warm endpoint state (any Find or FindDelta does),
+// only the changed nodes and their neighborhoods are rescanned — the win
+// over Find on the exhaustive verifier's lexicographic walk, where
+// consecutive fault sets share almost all members. With no warm state (the
+// first call of a chunk) it falls back to the full rebuild.
+//
+// Passing a delta that does not match the previous fault set corrupts the
+// endpoint state; callers own that invariant.
+func (s *Solver) FindDelta(faults bitset.Set, removed, added []int) Result {
+	return s.timed(faults, removed, added, true)
+}
+
+// Warm returns how many FindDelta calls reused warm endpoint state versus
+// rebuilt it from scratch.
+func (s *Solver) Warm() (hits, misses int64) { return s.warmHits, s.warmMisses }
+
+func (s *Solver) timed(faults bitset.Set, removed, added []int, delta bool) Result {
 	if s.reg.Enabled() {
 		start := time.Now()
 		before := tierDeltas(s.stats)
-		res := s.find(faults)
+		res := s.find(faults, removed, added, delta)
 		s.findTime.ObserveSince(start)
 		s.expansions.Add(res.Expansions)
 		for i, after := range tierDeltas(s.stats) {
@@ -200,11 +239,24 @@ func (s *Solver) Find(faults bitset.Set) Result {
 		}
 		return res
 	}
-	return s.find(faults)
+	return s.find(faults, removed, added, delta)
 }
 
-func (s *Solver) find(faults bitset.Set) Result {
-	ends, ok := s.endpoints(faults)
+func (s *Solver) find(faults bitset.Set, removed, added []int, delta bool) Result {
+	var ends endpoints
+	var ok bool
+	if delta && s.warmValid {
+		s.warmHits++
+		s.warmHit.Add(1)
+		ends, ok = s.deltaEndpoints(faults, removed, added)
+	} else {
+		if delta {
+			s.warmMisses++
+			s.warmMiss.Add(1)
+		}
+		ends, ok = s.endpoints(faults)
+	}
+	s.warmValid = true
 	if !ok {
 		s.stats.Trivial++
 		return Result{Found: false}
@@ -312,41 +364,118 @@ type endpoints struct {
 	start, end   bitset.Set // over processor node ids: candidates adjacent to healthy terminals
 }
 
-// endpoints computes the healthy processors and endpoint candidate sets.
-// It returns ok=false when no pipeline can exist for trivial reasons (no
-// healthy input or output terminal connection).
+// endpoints rebuilds the healthy-processor list and endpoint candidate sets
+// from scratch into the solver's warm storage. It returns ok=false when no
+// pipeline can exist for trivial reasons (no healthy input or output
+// terminal connection) — but always populates the state fully first, so a
+// later FindDelta can patch it regardless of how this call exited.
 func (s *Solver) endpoints(faults bitset.Set) (endpoints, bool) {
-	e := endpoints{faults: faults}
 	s.healthy = s.healthy[:0]
+	s.warmStart.Clear()
+	s.warmEnd.Clear()
 	for _, p := range s.procs {
 		if faults == nil || !faults.Contains(p) {
 			s.healthy = append(s.healthy, p)
+			s.refreshProc(p, faults)
 		}
 	}
-	e.healthyProcs = s.healthy
-	if len(e.healthyProcs) == 0 {
-		return e, false
-	}
-	n := s.g.NumNodes()
-	e.start = bitset.New(n)
-	e.end = bitset.New(n)
-	for _, p := range e.healthyProcs {
-		for _, u := range s.g.Neighbors(p) {
-			if faults != nil && faults.Contains(int(u)) {
-				continue
-			}
-			switch s.g.Kind(int(u)) {
-			case graph.InputTerminal:
-				e.start.Add(p)
-			case graph.OutputTerminal:
-				e.end.Add(p)
-			}
+	e := s.warmEndpoints(faults)
+	return e, s.viable(e)
+}
+
+// deltaEndpoints patches the warm endpoint state: removed nodes left the
+// fault set (became healthy), added nodes entered it. Only the changed
+// nodes and, for terminals, their processor neighborhoods are rescanned.
+func (s *Solver) deltaEndpoints(faults bitset.Set, removed, added []int) (endpoints, bool) {
+	for _, v := range added {
+		if s.procIdx[v] >= 0 {
+			s.healthyRemove(v)
+			s.warmStart.Remove(v)
+			s.warmEnd.Remove(v)
+		} else {
+			s.refreshTerminalNeighbors(v, faults)
 		}
 	}
-	if e.start.Empty() || e.end.Empty() {
-		return e, false
+	for _, v := range removed {
+		if s.procIdx[v] >= 0 {
+			s.healthyInsert(v)
+			s.refreshProc(v, faults)
+		} else {
+			s.refreshTerminalNeighbors(v, faults)
+		}
 	}
-	return e, true
+	e := s.warmEndpoints(faults)
+	return e, s.viable(e)
+}
+
+func (s *Solver) warmEndpoints(faults bitset.Set) endpoints {
+	return endpoints{faults: faults, healthyProcs: s.healthy, start: s.warmStart, end: s.warmEnd}
+}
+
+func (s *Solver) viable(e endpoints) bool {
+	return len(e.healthyProcs) > 0 && !e.start.Empty() && !e.end.Empty()
+}
+
+// refreshProc recomputes the endpoint-candidate membership of the healthy
+// processor p from its current terminal neighborhood.
+func (s *Solver) refreshProc(p int, faults bitset.Set) {
+	hasIn, hasOut := false, false
+	for _, u := range s.g.Neighbors(p) {
+		if faults != nil && faults.Contains(int(u)) {
+			continue
+		}
+		switch s.g.Kind(int(u)) {
+		case graph.InputTerminal:
+			hasIn = true
+		case graph.OutputTerminal:
+			hasOut = true
+		}
+	}
+	setMembership(s.warmStart, p, hasIn)
+	setMembership(s.warmEnd, p, hasOut)
+}
+
+// refreshTerminalNeighbors recomputes membership for every healthy
+// processor adjacent to the terminal t whose health just changed.
+func (s *Solver) refreshTerminalNeighbors(t int, faults bitset.Set) {
+	for _, u := range s.g.Neighbors(t) {
+		p := int(u)
+		if s.procIdx[p] >= 0 && (faults == nil || !faults.Contains(p)) {
+			s.refreshProc(p, faults)
+		}
+	}
+}
+
+func setMembership(set bitset.Set, i int, in bool) {
+	if in {
+		set.Add(i)
+	} else {
+		set.Remove(i)
+	}
+}
+
+// healthyInsert adds p to the ascending healthy-processor list.
+func (s *Solver) healthyInsert(p int) {
+	i := len(s.healthy)
+	for i > 0 && s.healthy[i-1] > p {
+		i--
+	}
+	if i < len(s.healthy) && s.healthy[i] == p {
+		return
+	}
+	s.healthy = append(s.healthy, 0)
+	copy(s.healthy[i+1:], s.healthy[i:])
+	s.healthy[i] = p
+}
+
+// healthyRemove deletes p from the healthy-processor list.
+func (s *Solver) healthyRemove(p int) {
+	for i, v := range s.healthy {
+		if v == p {
+			s.healthy = append(s.healthy[:i], s.healthy[i+1:]...)
+			return
+		}
+	}
 }
 
 // assemble wraps a processor path with a healthy input terminal at the

@@ -13,6 +13,10 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/verify"
 )
 
 // Config tunes an experiment run.
@@ -25,6 +29,32 @@ type Config struct {
 	Seed int64
 	// Workers bounds verification parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Symmetry enables orbit-reduced exhaustive verification: only one
+	// representative per automorphism orbit of fault sets is solved. The
+	// verdicts are identical (SYM re-proves this per family); the solver
+	// call counts drop by up to the automorphism group order.
+	Symmetry bool
+}
+
+// VerifyOptions returns the verification options implied by the config.
+// Callers layer experiment-specific fields (Solver.Layout, Universe) on
+// top of the returned value.
+func (cfg Config) VerifyOptions() verify.Options {
+	return verify.Options{Workers: cfg.Workers, ExploitSymmetry: cfg.Symmetry}
+}
+
+// layoutOpts is VerifyOptions with the structured-solver layout attached.
+func layoutOpts(cfg Config, lay *construct.Layout) verify.Options {
+	o := cfg.VerifyOptions()
+	o.Solver = embed.Options{Layout: lay}
+	return o
+}
+
+// mergedOpts is VerifyOptions under the §3 merged-terminal fault model.
+func mergedOpts(cfg Config) verify.Options {
+	o := cfg.VerifyOptions()
+	o.Universe = verify.ProcessorsOnly
+	return o
 }
 
 // Table is one regenerated artifact: rows of measured results plus the

@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"T313", "T315", "T316", "T317", "T317b",
 		"L31", "L35", "L36", "L37", "L39", "M",
 		"S1", "S2", "P1", "P2", "P3", "P4", "E1", "E2",
+		"SYM",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -68,7 +69,7 @@ func TestTableRender(t *testing.T) {
 func TestQuickExperimentsPass(t *testing.T) {
 	// The heavyweight ones get their own test functions below so failures
 	// localize; this covers the fast figure/lemma set.
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5-F9", "F10", "F11", "F12", "F13", "L31", "L35", "L37", "M"} {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5-F9", "F10", "F11", "F12", "F13", "L31", "L35", "L37", "M", "SYM"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var buf bytes.Buffer
@@ -78,6 +79,26 @@ func TestQuickExperimentsPass(t *testing.T) {
 			}
 			if !ok {
 				t.Fatalf("experiment %s mismatched its claim:\n%s", id, buf.String())
+			}
+		})
+	}
+}
+
+// The Symmetry knob must not change any experiment verdict: the same
+// figure/lemma set re-run with orbit reduction has to stay green.
+func TestQuickExperimentsWithSymmetry(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Symmetry = true
+	for _, id := range []string{"F2", "F3", "F4", "L36", "M"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			ok, err := RunOne(id, cfg, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("experiment %s mismatched with symmetry on:\n%s", id, buf.String())
 			}
 		})
 	}

@@ -68,7 +68,7 @@ func runG3Parity(cfg Config, kParity int) *Table {
 		if k == 1 {
 			wantDeg = k + 2
 		}
-		rep := verify.Exhaustive(g, k, verify.Options{Workers: cfg.Workers})
+		rep := verify.Exhaustive(g, k, cfg.VerifyOptions())
 		degOK := g.MaxProcessorDegree() == wantDeg && verify.CheckDegreeOptimal(g, 3, k) == nil
 		parity := "odd"
 		if (3+k)%2 == 0 {
@@ -95,7 +95,7 @@ func runF4(cfg Config) *Table {
 			t.OK = false
 			continue
 		}
-		rep := verify.Exhaustive(sol.Graph, 1, verify.Options{Workers: cfg.Workers})
+		rep := verify.Exhaustive(sol.Graph, 1, cfg.VerifyOptions())
 		ok := sol.MaxDegree == want[n] && rep.OK()
 		t.AddRow(fmt.Sprint(n), sol.Method, fmt.Sprint(sol.MaxDegree), fmt.Sprint(want[n]), boolCell(rep.OK()))
 		t.OK = t.OK && ok
@@ -140,7 +140,7 @@ func runSpecial(cfg Config, id string, n, k int) *Table {
 		t.Note("%v", err)
 		return t
 	}
-	rep := verify.Exhaustive(g, k, verify.Options{Workers: cfg.Workers})
+	rep := verify.Exhaustive(g, k, cfg.VerifyOptions())
 	frozenOK := rep.OK() && g.MaxProcessorDegree() == wantDeg &&
 		verify.CheckStandard(g, n, k) == nil
 	t.AddRow("frozen", fmt.Sprint(g.MaxProcessorDegree()), boolCell(rep.OK()), fmt.Sprint(rep.Checked))
@@ -153,7 +153,7 @@ func runSpecial(cfg Config, id string, n, k int) *Table {
 			t.Note("re-derivation failed: %v", err)
 			t.OK = false
 		} else {
-			rep2 := verify.Exhaustive(found, k, verify.Options{Workers: cfg.Workers})
+			rep2 := verify.Exhaustive(found, k, cfg.VerifyOptions())
 			t.AddRow("re-derived", fmt.Sprint(found.MaxProcessorDegree()), boolCell(rep2.OK()), fmt.Sprint(rep2.Checked))
 			t.OK = t.OK && rep2.OK()
 		}
@@ -182,7 +182,8 @@ func runAsymptoticFigure(cfg Config, id string, n, k int) *Table {
 	t.AddRow("max processor degree", fmt.Sprint(g.MaxProcessorDegree()))
 	t.AddRow("ring size m / offsets p+1 / bisector", fmt.Sprintf("%d / %d / %v", lay.M, lay.P+1, lay.HasBisector))
 
-	opts := verify.Options{Workers: cfg.Workers, Solver: embed.Options{Layout: lay}}
+	opts := cfg.VerifyOptions()
+	opts.Solver = embed.Options{Layout: lay}
 	var rep *verify.Report
 	if cfg.Quick {
 		rep = verify.Random(g, k, 3000, cfg.Seed, opts)

@@ -400,7 +400,7 @@ func runP2(cfg Config) *Table {
 		t.Note("%v", err)
 		return t
 	}
-	repFull := verify.Random(g, k, 1500, cfg.Seed, verify.Options{Workers: cfg.Workers, Solver: embed.Options{Layout: lay}})
+	repFull := verify.Random(g, k, 1500, cfg.Seed, layoutOpts(cfg, lay))
 	t.AddRow("with bisectors", fmt.Sprint(g.MinProcessorDegree()),
 		boolCell(verify.CheckNecessaryConditions(g, n, k) == nil), boolCell(repFull.OK()))
 

@@ -52,7 +52,7 @@ func runTheoremFamily(cfg Config, id string, k int) *Table {
 		gd := "-"
 		ok := sol.DegreeOptimal && verify.CheckStandard(sol.Graph, n, k) == nil
 		if n <= verifyN {
-			rep := verify.Exhaustive(sol.Graph, k, verify.Options{Workers: cfg.Workers})
+			rep := verify.Exhaustive(sol.Graph, k, cfg.VerifyOptions())
 			gd = boolCell(rep.OK())
 			ok = ok && rep.OK()
 		}
@@ -91,7 +91,8 @@ func runT317(cfg Config) *Table {
 			t.OK = false
 			continue
 		}
-		opts := verify.Options{Workers: cfg.Workers, Solver: embed.Options{Layout: lay}}
+		opts := cfg.VerifyOptions()
+		opts.Solver = embed.Options{Layout: lay}
 		var rep *verify.Report
 		mode := "random"
 		if in.exhaustive && !cfg.Quick {
@@ -199,7 +200,8 @@ func runT317Frontier(cfg Config) *Table {
 			t.OK = false
 			continue
 		}
-		opts := verify.Options{Workers: cfg.Workers, Solver: embed.Options{Layout: lay}}
+		opts := cfg.VerifyOptions()
+		opts.Solver = embed.Options{Layout: lay}
 		var rep *verify.Report
 		mode := "exhaustive"
 		if cfg.Quick {
@@ -293,7 +295,7 @@ func runL36(cfg Config) *Table {
 		g := sol.Graph
 		before := g.MaxDegree()
 		ext := construct.ExtendTimes(g, 2)
-		rep := verify.Exhaustive(ext, b.k, verify.Options{Workers: cfg.Workers})
+		rep := verify.Exhaustive(ext, b.k, cfg.VerifyOptions())
 		ok := ext.MaxDegree() == before && rep.OK()
 		t.AddRow(b.name, "2", fmt.Sprintf("%d/%d", before, ext.MaxDegree()), boolCell(rep.OK()))
 		t.OK = t.OK && ok
@@ -348,7 +350,7 @@ func runMerged(cfg Config) *Table {
 		}
 		m := construct.Merge(sol.Graph)
 		shapeErr := verify.CheckMerged(m, c.n, c.k)
-		rep := verify.Exhaustive(m, c.k, verify.Options{Workers: cfg.Workers, Universe: verify.ProcessorsOnly})
+		rep := verify.Exhaustive(m, c.k, mergedOpts(cfg))
 		in, out := m.InputTerminals()[0], m.OutputTerminals()[0]
 		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.k),
 			fmt.Sprintf("%d/%d", m.Degree(in), m.Degree(out)), boolCell(rep.OK()))

@@ -7,17 +7,26 @@ import (
 	"gdpn/internal/combin"
 )
 
-// Fingerprint returns an isomorphism-invariant hash of the labeled graph,
-// computed by iterated Weisfeiler–Lehman color refinement seeded with node
-// kinds. Graphs with different fingerprints are guaranteed non-isomorphic;
-// equal fingerprints may (rarely) collide, so the search module uses
-// Fingerprint only to bucket candidates and falls back to IsomorphicBrute
-// inside a bucket when exact deduplication matters.
-func (g *Graph) Fingerprint() uint64 {
+// WLColors returns the per-node colors after iterated Weisfeiler–Lehman
+// refinement. seed gives the initial color of each node; a nil seed uses the
+// node kinds. The refinement is deterministic (round count depends only on
+// the node count), so two nodes related by a seed-preserving automorphism
+// always receive equal colors — internal/autom uses this as a sound
+// candidate filter when searching for automorphism generators. Unequal
+// colors prove two nodes are NOT exchangeable; equal colors may (rarely)
+// collide.
+func (g *Graph) WLColors(seed []uint64) []uint64 {
 	n := g.NumNodes()
 	colors := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		colors[v] = uint64(g.Kind(v)) + 1
+	if seed != nil {
+		if len(seed) != n {
+			panic("graph: WLColors seed length mismatch")
+		}
+		copy(colors, seed)
+	} else {
+		for v := 0; v < n; v++ {
+			colors[v] = uint64(g.Kind(v)) + 1
+		}
 	}
 	next := make([]uint64, n)
 	neigh := make([]uint64, 0, 16)
@@ -41,7 +50,18 @@ func (g *Graph) Fingerprint() uint64 {
 		}
 		colors, next = next, colors
 	}
-	final := append([]uint64(nil), colors...)
+	return colors
+}
+
+// Fingerprint returns an isomorphism-invariant hash of the labeled graph,
+// computed by iterated Weisfeiler–Lehman color refinement seeded with node
+// kinds. Graphs with different fingerprints are guaranteed non-isomorphic;
+// equal fingerprints may (rarely) collide, so the search module uses
+// Fingerprint only to bucket candidates and falls back to IsomorphicBrute
+// inside a bucket when exact deduplication matters.
+func (g *Graph) Fingerprint() uint64 {
+	n := g.NumNodes()
+	final := g.WLColors(nil)
 	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
 	h := fnv.New64a()
 	writeU64(h, uint64(n))

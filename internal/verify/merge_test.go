@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+)
+
+// merge must cap SolverBugs at MaxRecorded exactly like Failures and
+// Unknowns: a pathological solver producing a bug per fault set must not
+// grow the report without bound.
+func TestMergeCapsAllRecordLists(t *testing.T) {
+	const maxRec = 4
+	rep := &Report{}
+	for w := 0; w < 3; w++ {
+		local := &Report{Checked: 10, Represented: 10, FailureCount: 3, UnknownCount: 3}
+		for i := 0; i < 3; i++ {
+			r := FaultSetRecord{Nodes: []int{w, i}, Err: fmt.Sprintf("w%d-%d", w, i)}
+			local.Failures = append(local.Failures, r)
+			local.Unknowns = append(local.Unknowns, r)
+			local.SolverBugs = append(local.SolverBugs, r)
+		}
+		merge(rep, local, maxRec)
+	}
+	if len(rep.Failures) != maxRec {
+		t.Errorf("Failures len = %d, want %d", len(rep.Failures), maxRec)
+	}
+	if len(rep.Unknowns) != maxRec {
+		t.Errorf("Unknowns len = %d, want %d", len(rep.Unknowns), maxRec)
+	}
+	if len(rep.SolverBugs) != maxRec {
+		t.Errorf("SolverBugs len = %d, want %d", len(rep.SolverBugs), maxRec)
+	}
+	// Counts are not capped.
+	if rep.Checked != 30 || rep.FailureCount != 9 || rep.UnknownCount != 9 {
+		t.Errorf("counts wrong: %+v", rep)
+	}
+	// Existence of bugs survives the cap, so OK() stays false.
+	if rep.OK() {
+		t.Error("report with solver bugs must not be OK")
+	}
+}
+
+// imageLess must compare the sorted image, not the raw mapped sequence.
+func TestImageLess(t *testing.T) {
+	// q maps 0↔3, 1↔2 on a 4-element universe.
+	q := []int32{3, 2, 1, 0}
+	scratch := make([]int, 4)
+	cases := []struct {
+		sub  []int
+		want bool
+	}{
+		{[]int{0, 1}, false}, // image {3,2} sorts to {2,3} > {0,1}
+		{[]int{2, 3}, true},  // image sorts to {0,1} < {2,3}
+		{[]int{0, 3}, false}, // image {3,0} sorts to {0,3}: equal
+		{[]int{1, 2}, false}, // fixed setwise
+	}
+	for _, c := range cases {
+		if got := imageLess(q, c.sub, scratch); got != c.want {
+			t.Errorf("imageLess(%v) = %v, want %v", c.sub, got, c.want)
+		}
+	}
+}
+
+// diffSorted drives both the bitset delta and the solver warm start; spot
+// check its edge cases.
+func TestDiffSorted(t *testing.T) {
+	cases := []struct {
+		prev, cur, wantRem, wantAdd []int
+	}{
+		{nil, []int{1, 2}, nil, []int{1, 2}},
+		{[]int{1, 2}, nil, []int{1, 2}, nil},
+		{[]int{1, 2, 5}, []int{1, 3, 5}, []int{2}, []int{3}},
+		{[]int{1, 2, 3}, []int{1, 2, 4}, []int{3}, []int{4}},
+		{[]int{0, 9}, []int{0, 9}, nil, nil},
+	}
+	for _, c := range cases {
+		rem, add := diffSorted(c.prev, c.cur, nil, nil)
+		if !equalInts(rem, c.wantRem) || !equalInts(add, c.wantAdd) {
+			t.Errorf("diffSorted(%v,%v) = %v,%v; want %v,%v",
+				c.prev, c.cur, rem, add, c.wantRem, c.wantAdd)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package verify_test
+
+import (
+	"testing"
+
+	"gdpn/internal/autom"
+	"gdpn/internal/combin"
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+// abCompare runs Exhaustive with symmetry off and on and asserts the
+// verdicts are identical: same OK(), same existence of failures and
+// unknowns, and the reduced run represents exactly the sets the full run
+// checked. Counts of recorded counterexamples may differ (the reduced run
+// sees one representative per orbit), but existence cannot.
+func abCompare(t *testing.T, g *graph.Graph, k int, opts verify.Options) (off, on *verify.Report) {
+	t.Helper()
+	off = verify.Exhaustive(g, k, opts)
+	symOpts := opts
+	symOpts.ExploitSymmetry = true
+	on = verify.Exhaustive(g, k, symOpts)
+
+	if off.OK() != on.OK() {
+		t.Errorf("%s k=%d: verdict differs: off OK=%v, on OK=%v", g.Name(), k, off.OK(), on.OK())
+	}
+	if (off.FailureCount > 0) != (on.FailureCount > 0) {
+		t.Errorf("%s k=%d: failure existence differs: off=%d on=%d",
+			g.Name(), k, off.FailureCount, on.FailureCount)
+	}
+	if (off.UnknownCount > 0) != (on.UnknownCount > 0) {
+		t.Errorf("%s k=%d: unknown existence differs: off=%d on=%d",
+			g.Name(), k, off.UnknownCount, on.UnknownCount)
+	}
+	if on.Represented != off.Checked {
+		t.Errorf("%s k=%d: on.Represented=%d, want off.Checked=%d",
+			g.Name(), k, on.Represented, off.Checked)
+	}
+	if on.Checked > off.Checked {
+		t.Errorf("%s k=%d: symmetry increased solver calls: %d > %d",
+			g.Name(), k, on.Checked, off.Checked)
+	}
+	return off, on
+}
+
+// TestSymmetryABVerdicts is the A/B gate CI runs with -short: orbit pruning
+// must never change a proof result on the F2/F3-class instances.
+func TestSymmetryABVerdicts(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		abCompare(t, construct.G1(k), k, verify.Options{})
+		abCompare(t, construct.G2(k), k, verify.Options{})
+		abCompare(t, construct.G3(k), k, verify.Options{})
+	}
+	// A positive instance verified beyond its design tolerance exercises
+	// failure paths too: G3(k) is not (k+1)-degradable.
+	abCompare(t, construct.G3(2), 3, verify.Options{})
+}
+
+// The F4-class instance: G3(4), 3214 fault sets, group order 2.
+func TestSymmetryABG3k4(t *testing.T) {
+	off, on := abCompare(t, construct.G3(4), 4, verify.Options{})
+	if !off.OK() || !on.OK() {
+		t.Fatalf("G3(4) should verify clean: off=%v on=%v", off, on)
+	}
+	if on.Checked >= off.Checked {
+		t.Errorf("no reduction on G3(4): on=%d off=%d", on.Checked, off.Checked)
+	}
+}
+
+// G3(5) has automorphism group order 32; the orbit-representative count
+// must come in at least 5× below the full enumeration — the acceptance bar
+// the benchmark also measures.
+func TestSymmetryABG3k5Reduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("G3(5) A/B is the long variant; -short runs TestSymmetryABVerdicts")
+	}
+	off, on := abCompare(t, construct.G3(5), 5, verify.Options{})
+	if !off.OK() || !on.OK() {
+		t.Fatalf("G3(5) should verify clean: off=%v on=%v", off, on)
+	}
+	if on.Checked*5 > off.Checked {
+		t.Errorf("reduction below 5×: %d reps for %d sets (%.2f×)",
+			on.Checked, off.Checked, float64(off.Checked)/float64(on.Checked))
+	}
+}
+
+// The asymptotic family, with the layout-seeded reflection: verdict parity
+// and an honest ~2× reduction (its group has order 2).
+func TestSymmetryABAsymptotic(t *testing.T) {
+	g, lay, err := construct.Asymptotic(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2 // full k=4 enumeration of a 30-node graph is a bench, not a test
+	off, on := abCompare(t, g, k, verify.Options{Solver: embed.Options{Layout: lay}})
+	if !off.OK() || !on.OK() {
+		t.Fatalf("asymptotic(16,4) F2 should verify clean: off=%v on=%v", off, on)
+	}
+	if on.Checked >= off.Checked {
+		t.Errorf("no reduction on asymptotic family: on=%d off=%d", on.Checked, off.Checked)
+	}
+}
+
+// A failing instance (the 3-processor path is not even 1-degradable) must
+// fail identically both ways.
+func TestSymmetryABNegative(t *testing.T) {
+	g := graph.New("line3")
+	p0 := g.AddNode(graph.Processor, 0)
+	p1 := g.AddNode(graph.Processor, 1)
+	p2 := g.AddNode(graph.Processor, 2)
+	in := g.AddNode(graph.InputTerminal, 0)
+	out := g.AddNode(graph.OutputTerminal, 0)
+	g.AddEdge(in, p0)
+	g.AddEdge(p0, p1)
+	g.AddEdge(p1, p2)
+	g.AddEdge(p2, out)
+	off, on := abCompare(t, g, 1, verify.Options{})
+	if off.OK() || on.OK() {
+		t.Fatal("line3 should fail 1-degradability")
+	}
+}
+
+// A precomputed group passed via Options.Group must be used as-is.
+func TestSymmetryWithExplicitGroup(t *testing.T) {
+	g := construct.G2(3)
+	group := autom.Compute(g, autom.Options{})
+	on := verify.Exhaustive(g, 3, verify.Options{ExploitSymmetry: true, Group: group})
+	off := verify.Exhaustive(g, 3, verify.Options{})
+	if on.OK() != off.OK() || on.Represented != off.Checked {
+		t.Fatalf("explicit group: on=%v off=%v", on, off)
+	}
+	if on.Checked >= off.Checked {
+		t.Errorf("no reduction with explicit group (order 2·3! = 12)")
+	}
+}
+
+// Without symmetry, Represented must equal Checked in both Exhaustive and
+// Random reports.
+func TestRepresentedEqualsCheckedWithoutSymmetry(t *testing.T) {
+	g := construct.G1(2)
+	rep := verify.Exhaustive(g, 2, verify.Options{})
+	if rep.Represented != rep.Checked {
+		t.Errorf("exhaustive: Represented=%d != Checked=%d", rep.Represented, rep.Checked)
+	}
+	if want := combin.CountUpTo(g.NumNodes(), 2); rep.Checked != want {
+		t.Errorf("exhaustive: Checked=%d, want %d", rep.Checked, want)
+	}
+	rr := verify.Random(g, 2, 100, 1, verify.Options{})
+	if rr.Represented != rr.Checked || rr.Checked != 100 {
+		t.Errorf("random: Represented=%d Checked=%d, want both 100", rr.Represented, rr.Checked)
+	}
+}
+
+// Work stealing with many workers over few chunks must neither lose nor
+// duplicate fault sets, with and without symmetry.
+func TestWorkStealingExactCoverage(t *testing.T) {
+	g := construct.G3(3)
+	for _, workers := range []int{1, 3, 16} {
+		rep := verify.Exhaustive(g, 3, verify.Options{Workers: workers})
+		if want := combin.CountUpTo(g.NumNodes(), 3); rep.Checked != want {
+			t.Errorf("workers=%d: Checked=%d, want %d", workers, rep.Checked, want)
+		}
+		sym := verify.Exhaustive(g, 3, verify.Options{Workers: workers, ExploitSymmetry: true})
+		if want := combin.CountUpTo(g.NumNodes(), 3); sym.Represented != want {
+			t.Errorf("workers=%d sym: Represented=%d, want %d", workers, sym.Represented, want)
+		}
+		if sym.OK() != rep.OK() {
+			t.Errorf("workers=%d: verdict differs under stealing", workers)
+		}
+	}
+}

@@ -8,8 +8,13 @@
 //     the repository is re-validated through it, so solver bugs can cause
 //     false "not degradable" reports but never false "degradable" ones;
 //   - Exhaustive — enumerates every fault set of size ≤ k (in parallel,
-//     partitioned by subset rank) and searches each; a clean report is a
-//     machine proof of GD(G, k) for that instance;
+//     with fine-grained rank chunks balanced by work stealing) and searches
+//     each; a clean report is a machine proof of GD(G, k) for that
+//     instance. With Options.ExploitSymmetry only one representative per
+//     automorphism orbit is solved — fault sets related by a certified
+//     automorphism are tolerated or not together, so the reduced run is
+//     still a machine proof, and the Report carries both the solver-call
+//     count (Checked) and the covered total (Represented);
 //   - Random — samples fault sets uniformly for instances whose fault-set
 //     space is too large to enumerate;
 //   - the optimality checkers in optimality.go, which encode the paper's
@@ -23,10 +28,12 @@ import (
 	"sync"
 	"time"
 
+	"gdpn/internal/autom"
 	"gdpn/internal/bitset"
 	"gdpn/internal/combin"
 	"gdpn/internal/embed"
 	"gdpn/internal/graph"
+	"gdpn/internal/obs"
 )
 
 // FaultUniverse selects which nodes may fail.
@@ -50,6 +57,16 @@ type Options struct {
 	Universe FaultUniverse
 	// MaxRecorded caps how many failing fault sets are kept (default 16).
 	MaxRecorded int
+	// ExploitSymmetry makes Exhaustive solve only the lexicographically-
+	// minimal representative of each automorphism orbit of fault sets. The
+	// verdict is provably identical to the unreduced run; Checked then
+	// counts solver calls and Represented the fault sets they cover.
+	ExploitSymmetry bool
+	// Group optionally supplies a precomputed automorphism group for
+	// ExploitSymmetry. When nil, Exhaustive computes one (seeded with the
+	// closed-form circulant reflection when Solver.Layout is set). Every
+	// permutation used for pruning has passed autom's certificate check.
+	Group *autom.Group
 }
 
 // FaultSetRecord describes one fault set with an abnormal outcome.
@@ -62,7 +79,16 @@ type FaultSetRecord struct {
 type Report struct {
 	GraphName string `json:"graph_name"`
 	K         int    `json:"k"`
-	Checked   int64  `json:"checked"`
+	// Checked counts fault sets the solver actually ran on. Without
+	// symmetry reduction it equals Represented.
+	Checked int64 `json:"checked"`
+	// Represented counts fault sets covered by the run: every enumerated
+	// set, including those skipped as non-minimal in their orbit. A clean
+	// report proves toleration of all of them.
+	Represented int64 `json:"represented"`
+	// Steals counts work-stealing events: chunks a worker took from
+	// another worker's deque after draining its own.
+	Steals int64 `json:"steals,omitempty"`
 	// Failures are fault sets with NO pipeline: counterexamples to GD(G,k).
 	Failures []FaultSetRecord `json:"failures,omitempty"`
 	// FailureCount counts all failures, including unrecorded ones.
@@ -89,8 +115,13 @@ func (r *Report) String() string {
 		status = fmt.Sprintf("FAILED (%d failures, %d unknowns, %d solver bugs)",
 			r.FailureCount, r.UnknownCount, len(r.SolverBugs))
 	}
-	return fmt.Sprintf("%s k=%d: %d fault sets in %v: %s",
-		r.GraphName, r.K, r.Checked, r.Duration.Round(time.Millisecond), status)
+	sym := ""
+	if r.Represented > r.Checked {
+		sym = fmt.Sprintf(" (representing %d, %.1f× orbit reduction)",
+			r.Represented, float64(r.Represented)/float64(r.Checked))
+	}
+	return fmt.Sprintf("%s k=%d: %d fault sets%s in %v: %s",
+		r.GraphName, r.K, r.Checked, sym, r.Duration.Round(time.Millisecond), status)
 }
 
 // CheckPipeline verifies that path is a pipeline in g \ faults per the
@@ -155,64 +186,93 @@ func Tolerates(g *graph.Graph, faults bitset.Set, opts embed.Options) (graph.Pat
 	return r.Pipeline, true, nil
 }
 
+// chunksPerWorker sets the chunking granularity of the rank space: each
+// worker's deque starts with about this many chunks per subset size, small
+// enough that non-uniform solve cost (fault sets near the degradability
+// boundary are far slower than easy ones) is rebalanced by stealing.
+const chunksPerWorker = 16
+
 // Exhaustive checks every fault set of size ≤ k over the configured fault
-// universe. A Report with OK() == true is a machine proof of GD(G, k).
+// universe. A Report with OK() == true is a machine proof of GD(G, k) —
+// with Options.ExploitSymmetry the proof covers all Represented sets while
+// running the solver only on Checked orbit representatives.
 func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 	fillDefaults(&opts)
 	universe := universeNodes(g, opts.Universe)
 	rep := &Report{GraphName: g.Name(), K: k}
 	start := time.Now()
 
-	type chunk struct {
-		size     int
-		from, to int64 // rank range [from, to)
+	var orbit *orbitTester
+	if opts.ExploitSymmetry {
+		group := opts.Group
+		if group == nil {
+			var seeds []autom.Perm
+			if opts.Solver.Layout != nil {
+				if refl, err := autom.Reflection(g, opts.Solver.Layout); err == nil {
+					seeds = append(seeds, refl)
+				}
+			}
+			group = autom.Compute(g, autom.Options{Seeds: seeds})
+		}
+		orbit = newOrbitTester(group, universe, g.NumNodes())
 	}
-	var chunks []chunk
+
+	// Fine-grained rank chunks, dealt round-robin onto per-worker deques.
+	// The owner pops from the tail (staying on its lexicographic walk, so
+	// solver warm-starts see small deltas); idle workers steal from the
+	// head of a victim's deque.
+	deques := make([]*stealQueue, opts.Workers)
+	for i := range deques {
+		deques[i] = &stealQueue{}
+	}
+	next := 0
 	for size := 0; size <= k && size <= len(universe); size++ {
 		total := combin.Binomial(len(universe), size)
-		per := total/int64(opts.Workers) + 1
+		per := total/int64(opts.Workers*chunksPerWorker) + 1
 		for from := int64(0); from < total; from += per {
 			to := from + per
 			if to > total {
 				to = total
 			}
-			chunks = append(chunks, chunk{size, from, to})
+			deques[next%opts.Workers].push(rankChunk{size, from, to})
+			next++
 		}
 	}
-	work := make(chan chunk, len(chunks))
-	for _, c := range chunks {
-		work <- c
-	}
-	close(work)
 
 	results := make(chan *Report, opts.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			local := &Report{}
-			solver := embed.NewSolver(g, opts.Solver)
-			faults := bitset.New(g.NumNodes())
+			wk := newWorker(g, opts, universe)
 			sub := make([]int, k)
-			for c := range work {
+			scratch := make([]int, k)
+			for {
+				c, ok := deques[w].popTail()
+				if !ok {
+					if c, ok = stealFrom(deques, w); !ok {
+						break
+					}
+					wk.local.Steals++
+				}
 				ss := sub[:c.size]
 				if c.size > 0 {
 					combin.Unrank(len(universe), c.size, c.from, ss)
 				}
 				for r := c.from; r < c.to; r++ {
 					if r > c.from {
-						nextSubset(len(universe), ss)
+						combin.NextSubset(len(universe), ss)
 					}
-					faults.Clear()
-					for _, idx := range ss {
-						faults.Add(universe[idx])
+					wk.local.Represented++
+					if orbit != nil && !orbit.isMinimal(ss, scratch) {
+						continue
 					}
-					checkOne(g, solver, faults, universe, ss, local, opts.MaxRecorded)
+					wk.check(ss)
 				}
 			}
-			results <- local
-		}()
+			results <- wk.local
+		}(w)
 	}
 	wg.Wait()
 	close(results)
@@ -220,7 +280,161 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 		merge(rep, local, opts.MaxRecorded)
 	}
 	rep.Duration = time.Since(start)
+
+	if reg := obs.Default(); reg.Enabled() {
+		if opts.ExploitSymmetry {
+			reg.Counter("verify_orbit_total", obs.L("result", "rep")).Add(rep.Checked)
+			reg.Counter("verify_orbit_total", obs.L("result", "pruned")).Add(rep.Represented - rep.Checked)
+		}
+		reg.Counter("verify_steals_total").Add(rep.Steals)
+	}
 	return rep
+}
+
+// rankChunk is a contiguous range [from, to) of lexicographic subset ranks
+// at one subset size.
+type rankChunk struct {
+	size     int
+	from, to int64
+}
+
+// stealQueue is one worker's deque of rank chunks. The owner pops from the
+// tail; thieves steal from the head, taking the chunk farthest from where
+// the owner is working.
+type stealQueue struct {
+	mu     sync.Mutex
+	chunks []rankChunk
+}
+
+func (q *stealQueue) push(c rankChunk) {
+	q.chunks = append(q.chunks, c)
+}
+
+func (q *stealQueue) popTail() (rankChunk, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.chunks)
+	if n == 0 {
+		return rankChunk{}, false
+	}
+	c := q.chunks[n-1]
+	q.chunks = q.chunks[:n-1]
+	return c, true
+}
+
+func (q *stealQueue) stealHead() (rankChunk, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.chunks) == 0 {
+		return rankChunk{}, false
+	}
+	c := q.chunks[0]
+	q.chunks = q.chunks[1:]
+	return c, true
+}
+
+// stealFrom scans the other deques once, starting after self. Chunks never
+// spawn more chunks, so a full empty scan means the run is complete.
+func stealFrom(deques []*stealQueue, self int) (rankChunk, bool) {
+	for i := 1; i <= len(deques); i++ {
+		if c, ok := deques[(self+i)%len(deques)].stealHead(); ok {
+			return c, true
+		}
+	}
+	return rankChunk{}, false
+}
+
+// orbitTester holds the automorphism permutations projected onto
+// universe-index space, for the min-in-orbit representative test. It is
+// immutable after construction and shared by all workers.
+type orbitTester struct {
+	perms [][]int32
+}
+
+// maxOrbitPerms caps how many permutations isMinimal applies per fault set.
+// When the materialized group is larger, the generator set plus inverses is
+// used instead — a sound over-approximation that accepts extra
+// representatives (never skips an orbit) at lower per-set cost.
+const maxOrbitPerms = 1024
+
+func newOrbitTester(group *autom.Group, universe []int, n int) *orbitTester {
+	var perms []autom.Perm
+	if elems, ok := group.Elements(); ok && len(elems) <= maxOrbitPerms {
+		perms = elems
+	} else {
+		for _, p := range group.Generators() {
+			perms = append(perms, p, p.Inverse())
+		}
+	}
+	idxOf := make([]int32, n)
+	for i := range idxOf {
+		idxOf[i] = -1
+	}
+	for i, v := range universe {
+		idxOf[v] = int32(i)
+	}
+	t := &orbitTester{}
+	for _, p := range perms {
+		q := make([]int32, len(universe))
+		usable, ident := true, true
+		for i, v := range universe {
+			u := idxOf[p.Map[v]]
+			if u < 0 {
+				// The permutation moves a universe node outside the
+				// universe; it cannot be used for pruning (dropping it is
+				// sound — orbits just split finer).
+				usable = false
+				break
+			}
+			q[i] = u
+			if int(u) != i {
+				ident = false
+			}
+		}
+		if usable && !ident {
+			t.perms = append(t.perms, q)
+		}
+	}
+	return t
+}
+
+// isMinimal reports whether sub (ascending universe indices) is the
+// lexicographically smallest element of its orbit under the tester's
+// permutations. The true orbit minimum is never rejected — every applied
+// permutation maps it to an equal-or-larger set — so accepting exactly the
+// minimal sets covers every orbit. scratch must have capacity ≥ len(sub).
+func (t *orbitTester) isMinimal(sub, scratch []int) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for _, q := range t.perms {
+		if imageLess(q, sub, scratch) {
+			return false
+		}
+	}
+	return true
+}
+
+// imageLess maps sub through q, sorts the image (insertion into scratch),
+// and reports whether it is lexicographically smaller than sub.
+func imageLess(q []int32, sub, scratch []int) bool {
+	img := scratch[:0]
+	for _, x := range sub {
+		v := int(q[x])
+		i := len(img)
+		img = append(img, 0)
+		for i > 0 && img[i-1] > v {
+			img[i] = img[i-1]
+			i--
+		}
+		img[i] = v
+	}
+	for i := range sub {
+		if img[i] != sub[i] {
+			return img[i] < sub[i]
+		}
+	}
+	return false
 }
 
 // Random samples `trials` fault sets with sizes uniform in [0, k] and
@@ -238,10 +452,8 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := &Report{}
+			wk := newWorker(g, opts, universe)
 			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
-			solver := embed.NewSolver(g, opts.Solver)
-			faults := bitset.New(g.NumNodes())
 			buf := make([]int, 0, k)
 			// Worker w owns trials [w·per, min((w+1)·per, trials)): the
 			// partition is exact for any trials/workers combination.
@@ -255,13 +467,10 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 					size = len(universe)
 				}
 				buf = combin.RandomSubset(rng, len(universe), size, buf)
-				faults.Clear()
-				for _, idx := range buf {
-					faults.Add(universe[idx])
-				}
-				checkOne(g, solver, faults, universe, buf, local, opts.MaxRecorded)
+				wk.local.Represented++
+				wk.check(buf)
 			}
-			results <- local
+			results <- wk.local
 		}(w)
 	}
 	wg.Wait()
@@ -273,22 +482,87 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 	return rep
 }
 
-// checkOne runs the solver on one fault set and records the outcome.
-func checkOne(g *graph.Graph, solver *embed.Solver, faults bitset.Set, universe, sub []int, local *Report, maxRec int) {
-	local.Checked++
-	res := solver.Find(faults)
+// worker is the per-goroutine verification state: a solver, the current
+// fault bitset, and the node ids of the last solved fault set. Consecutive
+// fault sets are applied as deltas — only the departed ids are removed and
+// the arrived ids added, both to the bitset and, through FindDelta, to the
+// solver's warm endpoint state. The same mechanism absorbs chunk jumps,
+// steals, and orbit-pruning gaps: the delta is just larger.
+type worker struct {
+	g        *graph.Graph
+	solver   *embed.Solver
+	faults   bitset.Set
+	universe []int
+	local    *Report
+	maxRec   int
+
+	prev, cur      []int // node ids of the previous/current fault set, ascending
+	removed, added []int
+}
+
+func newWorker(g *graph.Graph, opts Options, universe []int) *worker {
+	return &worker{
+		g:        g,
+		solver:   embed.NewSolver(g, opts.Solver),
+		faults:   bitset.New(g.NumNodes()),
+		universe: universe,
+		local:    &Report{},
+		maxRec:   opts.MaxRecorded,
+	}
+}
+
+// check runs the solver on the fault set given by sub (ascending universe
+// indices) and records the outcome.
+func (w *worker) check(sub []int) {
+	w.cur = w.cur[:0]
+	for _, idx := range sub {
+		w.cur = append(w.cur, w.universe[idx])
+	}
+	w.removed, w.added = diffSorted(w.prev, w.cur, w.removed[:0], w.added[:0])
+	for _, v := range w.removed {
+		w.faults.Remove(v)
+	}
+	for _, v := range w.added {
+		w.faults.Add(v)
+	}
+	w.prev = append(w.prev[:0], w.cur...)
+
+	w.local.Checked++
+	res := w.solver.FindDelta(w.faults, w.removed, w.added)
 	switch {
 	case res.Unknown:
-		local.UnknownCount++
-		record(&local.Unknowns, universe, sub, "budget exhausted", maxRec)
+		w.local.UnknownCount++
+		record(&w.local.Unknowns, w.universe, sub, "budget exhausted", w.maxRec)
 	case !res.Found:
-		local.FailureCount++
-		record(&local.Failures, universe, sub, "no pipeline", maxRec)
+		w.local.FailureCount++
+		record(&w.local.Failures, w.universe, sub, "no pipeline", w.maxRec)
 	default:
-		if err := CheckPipeline(g, faults, res.Pipeline); err != nil {
-			record(&local.SolverBugs, universe, sub, err.Error(), maxRec)
+		if err := CheckPipeline(w.g, w.faults, res.Pipeline); err != nil {
+			record(&w.local.SolverBugs, w.universe, sub, err.Error(), w.maxRec)
 		}
 	}
+}
+
+// diffSorted merge-diffs two ascending id slices: ids only in prev go to
+// removed, ids only in cur to added.
+func diffSorted(prev, cur, removed, added []int) (rem, add []int) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(cur) {
+		switch {
+		case prev[i] == cur[j]:
+			i++
+			j++
+		case prev[i] < cur[j]:
+			removed = append(removed, prev[i])
+			i++
+		default:
+			added = append(added, cur[j])
+			j++
+		}
+	}
+	removed = append(removed, prev[i:]...)
+	added = append(added, cur[j:]...)
+	return removed, added
 }
 
 func record(dst *[]FaultSetRecord, universe, sub []int, msg string, maxRec int) {
@@ -304,6 +578,8 @@ func record(dst *[]FaultSetRecord, universe, sub []int, msg string, maxRec int) 
 
 func merge(rep, local *Report, maxRec int) {
 	rep.Checked += local.Checked
+	rep.Represented += local.Represented
+	rep.Steals += local.Steals
 	rep.FailureCount += local.FailureCount
 	rep.UnknownCount += local.UnknownCount
 	for _, f := range local.Failures {
@@ -316,20 +592,10 @@ func merge(rep, local *Report, maxRec int) {
 			rep.Unknowns = append(rep.Unknowns, u)
 		}
 	}
-	rep.SolverBugs = append(rep.SolverBugs, local.SolverBugs...)
-}
-
-// nextSubset advances sub to the lexicographic successor among k-subsets of
-// {0..n-1}. The caller guarantees a successor exists.
-func nextSubset(n int, sub []int) {
-	k := len(sub)
-	i := k - 1
-	for i >= 0 && sub[i] == n-k+i {
-		i--
-	}
-	sub[i]++
-	for j := i + 1; j < k; j++ {
-		sub[j] = sub[j-1] + 1
+	for _, b := range local.SolverBugs {
+		if len(rep.SolverBugs) < maxRec {
+			rep.SolverBugs = append(rep.SolverBugs, b)
+		}
 	}
 }
 
