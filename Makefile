@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-snapshot vet
+.PHONY: all build test race bench bench-snapshot bench-check vet soak
 
 all: build test
 
@@ -28,3 +28,16 @@ bench:
 bench-snapshot:
 	$(GO) run ./cmd/gdpbench -quick -symmetry -json > BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
+
+# bench-check runs the suite fresh and diffs it against the committed
+# baseline — the same gate CI applies (>25% slowdown above the 100ms
+# noise floor, or any verdict flip, fails).
+bench-check:
+	$(GO) run ./cmd/gdpbench -quick -symmetry -json > /tmp/gdp_bench_current.json
+	$(GO) run ./cmd/benchdiff -max-ratio 1.25 BENCH_baseline.json /tmp/gdp_bench_current.json
+
+# soak is the local version of the nightly chaos workflow: continuous
+# traffic under stochastic fault/repair churn with the race detector on;
+# fails on any lost/duplicated frame or invalid post-remap pipeline.
+soak:
+	$(GO) run -race ./cmd/gdpsim -chaos -n 12 -k 3 -seed 1 -duration 30s -quiet

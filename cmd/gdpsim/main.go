@@ -9,11 +9,21 @@
 // /debug/trace serves the fault/repair event trace, and a one-line
 // metrics summary is printed to stderr every -snapshot-interval.
 //
+// With -chaos the epoch model is replaced by the soak harness
+// (internal/chaos): frames stream continuously while a seeded stochastic
+// fault/repair process (-mtbf, -mttr, -burst-prob) churns the network
+// live, every remap drains and requeues in-flight frames, and the run
+// ends with an invariant report — zero frames lost, zero duplicated,
+// every healthy processor in use after every remap. The exit status is
+// non-zero if any invariant failed; rerun a failing seed with the same
+// -seed to reproduce the exact fault sequence.
+//
 // Usage:
 //
 //	gdpsim -n 24 -k 4 -epoch-frames 128 -frame 4096
 //	gdpsim -n 1000 -k 6 -model terminals-first
 //	gdpsim -n 24 -k 4 -metrics-addr :9090 -epochs 50
+//	gdpsim -chaos -n 12 -k 3 -seed 1 -duration 30s
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"gdpn/internal/chaos"
 	"gdpn/internal/construct"
 	"gdpn/internal/faults"
 	"gdpn/internal/obs"
@@ -44,6 +55,14 @@ func main() {
 		epochs   = flag.Int("epochs", 0, "total epochs to run (0 = stop when the fault sequence is exhausted)")
 		addr     = flag.String("metrics-addr", "", "serve /metrics and /debug/trace on this address (e.g. :9090); enables instrumentation")
 		interval = flag.Duration("snapshot-interval", 5*time.Second, "period of the one-line stderr metrics snapshot (with -metrics-addr)")
+
+		chaosMode = flag.Bool("chaos", false, "run the continuous chaos soak instead of the epoch demo")
+		duration  = flag.Duration("duration", 30*time.Second, "chaos: soak length")
+		mtbf      = flag.Duration("mtbf", 3*time.Second, "chaos: mean time between processor failures")
+		mttr      = flag.Duration("mttr", 800*time.Millisecond, "chaos: mean time to repair")
+		burstProb = flag.Float64("burst-prob", 0.1, "chaos: probability a fault becomes a correlated burst (up to k faults)")
+		remapDL   = flag.Duration("remap-deadline", 0, "chaos: bound each remap; late solves roll back to the last valid pipeline (0 = unbounded)")
+		quiet     = flag.Bool("quiet", false, "chaos: suppress the per-event log, print only the final report")
 	)
 	flag.Parse()
 
@@ -71,6 +90,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *chaosMode {
+		// The soak's own counters (chaos_faults_injected_total, the frame-loss
+		// gauge, remap downtime) are part of its contract: always observe.
+		reg.SetEnabled(true)
+		cfg := chaos.Config{
+			Seed:          *seed,
+			Duration:      *duration,
+			MTBF:          *mtbf,
+			MTTR:          *mttr,
+			BurstProb:     *burstProb,
+			RemapDeadline: *remapDL,
+			FrameSamples:  *size,
+		}
+		if !*quiet {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		fmt.Println(sol.Graph.Summary())
+		fmt.Printf("chaos soak: seed=%d duration=%v mtbf=%v mttr=%v burst-prob=%.2f remap-deadline=%v\n",
+			*seed, *duration, *mtbf, *mttr, *burstProb, *remapDL)
+		rep, err := chaos.Run(sol, nil, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Summary())
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, summaryLine(reg))
+		}
+		if !rep.OK() {
+			fmt.Fprintf(os.Stderr, "gdpsim: chaos soak FAILED (rerun with -chaos -seed %d to reproduce)\n", *seed)
+			os.Exit(1)
+		}
+		return
+	}
+
 	eng, err := pipeline.New(sol, []stages.Stage{
 		stages.NewSubsample(2),
 		&stages.Rescale{Gain: 1.5, Offset: 0.1},

@@ -1,0 +1,328 @@
+// Package chaos is the soak harness: it runs a live pipeline.Engine under
+// a seeded stochastic fault/repair schedule (internal/faults.Schedule)
+// while frames stream continuously through a pipeline.Stream, and checks
+// the paper's graceful-degradation guarantee as a *runtime* property
+// rather than a theorem:
+//
+//   - zero frame loss, zero duplication, in-order delivery across every
+//     live reconfiguration (the congested-clique "no work lost across
+//     recoveries" invariant);
+//   - after every remap the pipeline is a valid certificate
+//     (verify.CheckPipeline) and uses every healthy processor — the
+//     paper's graceful degradation, re-proved at each step of an ongoing
+//     fault process rather than for a one-shot fault set.
+//
+// Runs are seeded and replayable: a failing nightly seed reruns locally
+// with `gdpsim -chaos -seed N` and reproduces the same fault sequence.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/faults"
+	"gdpn/internal/graph"
+	"gdpn/internal/obs"
+	"gdpn/internal/pipeline"
+	"gdpn/internal/reconfig"
+	"gdpn/internal/stages"
+	"gdpn/internal/verify"
+	"gdpn/internal/workload"
+)
+
+// maxRecordedViolations caps the violation strings kept in a Report;
+// further violations are counted but summarized.
+const maxRecordedViolations = 32
+
+// Config parameterizes one soak run.
+type Config struct {
+	// Seed makes the run replayable (fault schedule and workload).
+	Seed int64
+	// Duration is the wall-clock soak length. Default 10s.
+	Duration time.Duration
+	// MTBF / MTTR are the processor-class failure/repair means.
+	// Defaults 3s / 800ms.
+	MTBF, MTTR time.Duration
+	// TerminalMTBF / TerminalMTTR enable terminal-class faults (0 = off).
+	TerminalMTBF, TerminalMTTR time.Duration
+	// BurstProb upgrades a fault into a correlated burst of up to MaxBurst
+	// simultaneous faults (budget permitting). Defaults 0 / design k.
+	BurstProb float64
+	MaxBurst  int
+	// FrameSamples is the samples per frame. Default 1024.
+	FrameSamples int
+	// MaxPending is the stream's backpressure bound. Default 64.
+	MaxPending int
+	// RemapDeadline bounds each remap; a solve that misses it rolls back
+	// to the last valid pipeline and the fault is retried later. 0 = off.
+	RemapDeadline time.Duration
+	// Logf, when non-nil, narrates events live (fault/repair/rollback).
+	Logf func(format string, args ...any)
+}
+
+// Report is the end-of-run invariant report.
+type Report struct {
+	// Stream is the zero-loss ledger (lost/duplicated/out-of-order must be
+	// zero, delivered must equal submitted).
+	Stream pipeline.StreamReport
+	// Downtime is the reconfiguration manager's per-tactic ledger.
+	Downtime reconfig.DowntimeStats
+	// Elapsed is the achieved wall-clock run length.
+	Elapsed time.Duration
+	// FaultsInjected / RepairsApplied count applied schedule events;
+	// Bursts counts multi-fault batches.
+	FaultsInjected, RepairsApplied, Bursts int
+	// DeadlineRollbacks counts remaps rolled back for missing the deadline
+	// (retried later by the schedule); OtherFailures counts unexpected
+	// apply errors — any of those is also recorded as a violation.
+	DeadlineRollbacks, OtherFailures int
+	// Checks counts post-remap invariant checks; Violations records the
+	// failures (capped at maxRecordedViolations, then counted).
+	Checks          int
+	Violations      []string
+	TotalViolations int
+	// FinalFaults / FinalProcsInUse snapshot the end state.
+	FinalFaults     []int
+	FinalProcsInUse int
+}
+
+func (r *Report) violate(format string, args ...any) {
+	r.TotalViolations++
+	if len(r.Violations) < maxRecordedViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// OK reports whether every invariant held: clean stream and no
+// verification violations.
+func (r *Report) OK() bool {
+	return r.Stream.Clean() && r.TotalViolations == 0
+}
+
+// Summary renders the multi-line invariant report printed at the end of a
+// soak run.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos soak: %v elapsed\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  frames:     submitted=%d delivered=%d requeued=%d lost=%d duplicated=%d out-of-order=%d\n",
+		r.Stream.Submitted, r.Stream.Delivered, r.Stream.Requeued,
+		r.Stream.Lost, r.Stream.Duplicated, r.Stream.OutOfOrder)
+	fmt.Fprintf(&b, "  faults:     injected=%d repaired=%d bursts=%d deadline-rollbacks=%d other-failures=%d\n",
+		r.FaultsInjected, r.RepairsApplied, r.Bursts, r.DeadlineRollbacks, r.OtherFailures)
+	fmt.Fprintf(&b, "  remaps:     ok=%d failed=%d downtime total=%v max=%v rollback-time=%v\n",
+		r.Stream.Remaps, r.Stream.RemapFailures,
+		r.Stream.TotalDowntime.Round(time.Microsecond), r.Stream.MaxDowntime.Round(time.Microsecond),
+		r.Downtime.RollbackTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  tactics:    ")
+	for t := reconfig.NoChange; t <= reconfig.FullRemap; t++ {
+		if d := r.Downtime.PerTactic[t]; d > 0 {
+			fmt.Fprintf(&b, "%s=%v ", t, d.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintf(&b, "\n  invariants: checks=%d violations=%d (all healthy processors in use after every remap, no loss, no duplication)\n",
+		r.Checks, r.TotalViolations)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
+	}
+	if extra := r.TotalViolations - len(r.Violations); extra > 0 {
+		fmt.Fprintf(&b, "    ... and %d more\n", extra)
+	}
+	fmt.Fprintf(&b, "  end state:  faults=%v procs-in-use=%d\n", r.FinalFaults, r.FinalProcsInUse)
+	if r.OK() {
+		b.WriteString("  RESULT: PASS — zero frame loss, zero duplication, graceful degradation held\n")
+	} else {
+		b.WriteString("  RESULT: FAIL\n")
+	}
+	return b.String()
+}
+
+// DefaultStages returns the video-style stage chain the soak (and gdpsim)
+// pushes frames through.
+func DefaultStages() []stages.Stage {
+	return []stages.Stage{
+		stages.NewSubsample(2),
+		&stages.Rescale{Gain: 1.5, Offset: 0.1},
+		stages.NewFIR([]float64{0.25, 0.5, 0.25}),
+		stages.NewQuantize(-16, 16, 256),
+		stages.NewLZ78(4096),
+	}
+}
+
+// Run executes one soak: continuous traffic, scheduled faults/repairs,
+// invariant checks after every remap, and a final zero-loss audit. The
+// returned error covers setup problems only; invariant failures land in
+// the Report.
+func Run(sol *construct.Solution, stgs []stages.Stage, cfg Config) (*Report, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.MTBF <= 0 {
+		cfg.MTBF = 3 * time.Second
+	}
+	if cfg.MTTR <= 0 {
+		cfg.MTTR = 800 * time.Millisecond
+	}
+	if cfg.FrameSamples <= 0 {
+		cfg.FrameSamples = 1024
+	}
+	if cfg.MaxBurst <= 0 {
+		cfg.MaxBurst = sol.K
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if len(stgs) == 0 {
+		stgs = DefaultStages()
+	}
+
+	eng, err := pipeline.New(sol, stgs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RemapDeadline > 0 {
+		eng.SetRemapDeadline(cfg.RemapDeadline)
+	}
+	sch, err := faults.NewSchedule(sol.Graph, faults.ScheduleConfig{
+		MTBF:         cfg.MTBF,
+		MTTR:         cfg.MTTR,
+		TerminalMTBF: cfg.TerminalMTBF,
+		TerminalMTTR: cfg.TerminalMTTR,
+		MaxFaults:    sol.K,
+		BurstProb:    cfg.BurstProb,
+		MaxBurst:     cfg.MaxBurst,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st, err := eng.StartStream(pipeline.StreamConfig{MaxPending: cfg.MaxPending})
+	if err != nil {
+		return nil, err
+	}
+	injected := obs.Default().Counter("chaos_faults_injected_total")
+
+	// Producer: continuous seq-numbered traffic until told to stop.
+	stop := make(chan struct{})
+	var producerWG sync.WaitGroup
+	producerWG.Add(1)
+	go func() {
+		defer producerWG.Done()
+		gen := workload.Video(cfg.FrameSamples/4, cfg.Seed)
+		seq := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := workload.Frames(gen, 1, cfg.FrameSamples, seq)
+			if st.Submit(batch[0]) != nil {
+				return
+			}
+			seq++
+		}
+	}()
+
+	// Consumer: drain deliveries (the stream itself audits sequence).
+	var consumed atomic.Int64
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for range st.Out() {
+			consumed.Add(1)
+		}
+	}()
+
+	rep := &Report{}
+	g := sol.Graph
+	start := time.Now()
+	end := start.Add(cfg.Duration)
+	for {
+		evs := sch.Next()
+		at := start.Add(evs[0].At)
+		if at.After(end) {
+			time.Sleep(time.Until(end))
+			break
+		}
+		time.Sleep(time.Until(at))
+		if len(evs) > 1 {
+			rep.Bursts++
+		}
+		for _, ev := range evs {
+			var err error
+			if ev.Repair {
+				err = eng.Repair(ev.Node)
+			} else {
+				err = eng.Inject(ev.Node)
+			}
+			switch {
+			case err == nil:
+				if ev.Repair {
+					rep.RepairsApplied++
+				} else {
+					rep.FaultsInjected++
+					injected.Inc()
+				}
+				logf("chaos: %s procs-in-use=%d", ev, eng.ProcessorsInUse())
+			case errors.Is(err, reconfig.ErrDeadline):
+				rep.DeadlineRollbacks++
+				sch.Deny(ev)
+				logf("chaos: %s ROLLED BACK (deadline): %v", ev, err)
+			default:
+				// Within the k budget every event must apply; anything else
+				// is itself an invariant violation.
+				rep.OtherFailures++
+				sch.Deny(ev)
+				rep.violate("apply %s: %v", ev, err)
+			}
+		}
+		rep.Checks++
+		checkInvariants(rep, eng, g, evs[0].At)
+	}
+
+	close(stop)
+	producerWG.Wait()
+	rep.Stream = st.Close()
+	<-consumerDone
+
+	rep.Downtime = eng.Downtime()
+	rep.Elapsed = time.Since(start)
+	rep.FinalFaults = eng.Faults().Slice()
+	rep.FinalProcsInUse = eng.ProcessorsInUse()
+	rep.Checks++
+	checkInvariants(rep, eng, g, rep.Elapsed)
+	if got := consumed.Load(); got != rep.Stream.Delivered {
+		rep.violate("consumer saw %d frames, stream delivered %d", got, rep.Stream.Delivered)
+	}
+	if !rep.Stream.Clean() {
+		rep.violate("stream not clean: lost=%d duplicated=%d out-of-order=%d submitted=%d delivered=%d",
+			rep.Stream.Lost, rep.Stream.Duplicated, rep.Stream.OutOfOrder,
+			rep.Stream.Submitted, rep.Stream.Delivered)
+	}
+	return rep, nil
+}
+
+// checkInvariants re-proves graceful degradation on the live state: the
+// current pipeline must be a valid certificate over the current fault set
+// and must use every healthy processor.
+func checkInvariants(rep *Report, eng *pipeline.Engine, g *graph.Graph, at time.Duration) {
+	f := eng.Faults()
+	if err := verify.CheckPipeline(g, f, eng.Pipeline()); err != nil {
+		rep.violate("t=%v: invalid pipeline: %v", at.Round(time.Millisecond), err)
+		return
+	}
+	healthy := 0
+	for _, p := range g.Processors() {
+		if !f.Contains(p) {
+			healthy++
+		}
+	}
+	if used := eng.ProcessorsInUse(); used != healthy {
+		rep.violate("t=%v: %d healthy processors but only %d in use", at.Round(time.Millisecond), healthy, used)
+	}
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"gdpn/internal/construct"
+)
+
+// TestSoakShortRun is the in-tree smoke version of the nightly soak: a
+// fast fault process on G(12,3) for ~1.5s must finish with a clean
+// stream, zero invariant violations, and actual fault churn.
+func TestSoakShortRun(t *testing.T) {
+	sol, err := construct.Design(12, 3)
+	if err != nil {
+		t.Fatalf("Design(12,3): %v", err)
+	}
+	dur := 1500 * time.Millisecond
+	if testing.Short() {
+		dur = 400 * time.Millisecond
+	}
+	rep, err := Run(sol, nil, Config{
+		Seed:      1,
+		Duration:  dur,
+		MTBF:      120 * time.Millisecond,
+		MTTR:      40 * time.Millisecond,
+		BurstProb: 0.2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("soak failed:\n%s", rep.Summary())
+	}
+	if rep.FaultsInjected == 0 {
+		t.Fatalf("no faults injected in %v (MTBF too long for test?)", dur)
+	}
+	if rep.Stream.Submitted == 0 || rep.Stream.Delivered != rep.Stream.Submitted {
+		t.Fatalf("stream not clean: %+v", rep.Stream)
+	}
+	if rep.Checks == 0 {
+		t.Fatalf("no invariant checks ran")
+	}
+}
+
+// TestSoakSeedReplay checks that two runs with the same seed inject the
+// same number of faults — the property that makes a failing nightly seed
+// reproducible locally. (Exact event times are wall-clock dependent, but
+// the schedule's event sequence is seed-determined; with MTBF far above
+// the run length only the deterministic prefix fires.)
+func TestSoakSeedReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay comparison needs two timed runs")
+	}
+	sol, err := construct.Design(10, 2)
+	if err != nil {
+		t.Fatalf("Design(10,2): %v", err)
+	}
+	cfg := Config{
+		Seed:     7,
+		Duration: 600 * time.Millisecond,
+		MTBF:     100 * time.Millisecond,
+		MTTR:     30 * time.Millisecond,
+	}
+	a, err := Run(sol, nil, cfg)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	sol2, _ := construct.Design(10, 2)
+	b, err := Run(sol2, nil, cfg)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	if !a.OK() || !b.OK() {
+		t.Fatalf("replay runs not clean:\nA:\n%s\nB:\n%s", a.Summary(), b.Summary())
+	}
+	// Same seed, same config, same duration: the event prefixes that fit in
+	// the window are identical, so fault counts may differ by at most the
+	// scheduling jitter at the window edge.
+	diff := a.FaultsInjected - b.FaultsInjected
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Fatalf("seed replay diverged: %d vs %d faults", a.FaultsInjected, b.FaultsInjected)
+	}
+}

@@ -2,6 +2,7 @@ package embed
 
 import (
 	"sort"
+	"time"
 )
 
 // backtracker is the pruned-DFS Hamiltonian path engine. It works on local
@@ -22,6 +23,7 @@ type backtracker struct {
 	budget     int64
 	expansions int64
 	exhausted  bool
+	deadline   time.Time // zero = no wall-clock bound
 
 	// connectivity scratch
 	seen  []bool
@@ -59,6 +61,7 @@ func (s *Solver) findBacktrack(e endpoints, budget int64) Result {
 	bt.budget = budget
 	bt.expansions = 0
 	bt.exhausted = false
+	bt.deadline = s.deadline
 	bt.zeroCount = 0
 	bt.oneCount = 0
 	bt.endRemaining = 0
@@ -180,6 +183,12 @@ func (bt *backtracker) dfs(u, left int) bool {
 		return bt.isEnd[u]
 	}
 	if bt.budget <= 0 {
+		bt.exhausted = true
+		return false
+	}
+	// Wall-clock deadline, polled every 1024 expansions (and on the first)
+	// so the per-expansion cost stays negligible.
+	if bt.expansions&1023 == 0 && !bt.deadline.IsZero() && time.Now().After(bt.deadline) {
 		bt.exhausted = true
 		return false
 	}

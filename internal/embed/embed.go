@@ -81,6 +81,12 @@ type Options struct {
 	// engine; 0 means DefaultBudget. When the budget is exhausted the
 	// result is Unknown = true rather than Found = false.
 	Budget int64
+	// Deadline bounds the wall-clock time of each Find/FindDelta call; the
+	// search engines (backtracking and the exact DP) poll the clock every
+	// ~1k expansions and report Unknown when it expires. 0 means no
+	// deadline. The O(n) planner and structured tiers are not bounded —
+	// they finish far below any useful deadline.
+	Deadline time.Duration
 }
 
 // DefaultBudget is the backtracking node-expansion budget used when
@@ -152,6 +158,10 @@ type Solver struct {
 	warmValid            bool
 	warmStart, warmEnd   bitset.Set
 	warmHits, warmMisses int64
+
+	// deadline is the absolute expiry of the current Find call (zero when
+	// Options.Deadline is unset), sampled once per call.
+	deadline time.Time
 
 	reg        *obs.Registry
 	findTime   *obs.Histogram  // wall time per Find call
@@ -225,6 +235,10 @@ func (s *Solver) FindDelta(faults bitset.Set, removed, added []int) Result {
 // rebuilt it from scratch.
 func (s *Solver) Warm() (hits, misses int64) { return s.warmHits, s.warmMisses }
 
+// SetDeadline changes the per-call wall-clock bound for subsequent Find /
+// FindDelta calls (see Options.Deadline). 0 disables the bound.
+func (s *Solver) SetDeadline(d time.Duration) { s.opts.Deadline = d }
+
 func (s *Solver) timed(faults bitset.Set, removed, added []int, delta bool) Result {
 	if s.reg.Enabled() {
 		start := time.Now()
@@ -243,6 +257,11 @@ func (s *Solver) timed(faults bitset.Set, removed, added []int, delta bool) Resu
 }
 
 func (s *Solver) find(faults bitset.Set, removed, added []int, delta bool) Result {
+	if s.opts.Deadline > 0 {
+		s.deadline = time.Now().Add(s.opts.Deadline)
+	} else {
+		s.deadline = time.Time{}
+	}
 	var ends endpoints
 	var ok bool
 	if delta && s.warmValid {

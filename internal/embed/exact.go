@@ -1,6 +1,9 @@
 package embed
 
-import "math/bits"
+import (
+	"math/bits"
+	"time"
+)
 
 // findDP decides pipeline existence exactly with a Held–Karp dynamic
 // program over the healthy processors. dp[mask] is the set (as a bitmask)
@@ -56,6 +59,10 @@ func (s *Solver) findDP(e endpoints) Result {
 	}
 	full := uint32(size - 1)
 	for mask := 1; mask < size; mask++ {
+		// Wall-clock deadline, polled every 1024 masks.
+		if mask&1023 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return Result{Unknown: true, Method: DP, Expansions: expansions}
+		}
 		lasts := dp[mask]
 		if lasts == 0 {
 			continue

@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/graph"
+)
+
+// This file provides the *scheduled* fault process used by the chaos soak
+// harness (internal/chaos): where Injector replays a fixed fault set one
+// node at a time, a Schedule is a continuous stochastic process —
+// exponential time-to-failure and time-to-repair per node class, a
+// concurrent-fault budget, and optional correlated bursts — that runs for
+// as long as the consumer keeps asking. It is seeded and replayable: the
+// same seed (and the same Deny feedback) reproduces the same event
+// sequence exactly, which is how a failing soak run is rerun under a
+// debugger.
+
+// ScheduleConfig parameterizes a stochastic fault/repair process.
+type ScheduleConfig struct {
+	// MTBF is the processor-class mean time between failures (required).
+	MTBF time.Duration
+	// MTTR is the processor-class mean time to repair (required).
+	MTTR time.Duration
+	// TerminalMTBF / TerminalMTTR are the terminal-class rates; leaving
+	// TerminalMTBF zero keeps terminals from failing at all.
+	TerminalMTBF, TerminalMTTR time.Duration
+	// MaxFaults is the concurrent-fault budget (typically the design's k).
+	// Fault events that would exceed it are deferred, never dropped.
+	MaxFaults int
+	// BurstProb is the probability that a fault event becomes a burst of
+	// simultaneous faults (correlated failure of up to MaxBurst nodes,
+	// still within the budget).
+	BurstProb float64
+	// MaxBurst caps the nodes per burst, seed fault included; values ≤ 1
+	// disable bursts.
+	MaxBurst int
+}
+
+// ScheduleEvent is one transition of the fault process.
+type ScheduleEvent struct {
+	// At is the event time as an offset from process start.
+	At time.Duration
+	// Node is the failing or recovering node.
+	Node int
+	// Repair is true for a recovery, false for a failure.
+	Repair bool
+	// Burst marks events that are part of a simultaneous multi-fault
+	// batch.
+	Burst bool
+}
+
+// String renders the event for logs.
+func (e ScheduleEvent) String() string {
+	verb := "fault"
+	if e.Repair {
+		verb = "repair"
+	}
+	burst := ""
+	if e.Burst {
+		burst = " (burst)"
+	}
+	return fmt.Sprintf("t=%v %s node=%d%s", e.At.Round(time.Millisecond), verb, e.Node, burst)
+}
+
+type schedTimer struct {
+	at   time.Duration
+	node int
+	gen  uint64 // stale entries (node regenerated) are skipped on pop
+}
+
+type timerHeap []schedTimer
+
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)        { *h = append(*h, x.(schedTimer)) }
+func (h *timerHeap) Pop() any          { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// Schedule is a seeded, replayable fault/repair event generator over one
+// network. It is not safe for concurrent use.
+type Schedule struct {
+	g      *graph.Graph
+	cfg    ScheduleConfig
+	rng    *rand.Rand
+	faulty bitset.Set
+	gen    []uint64
+	h      timerHeap
+	clock  time.Duration
+}
+
+// NewSchedule builds the process and arms one failure timer per eligible
+// node.
+func NewSchedule(g *graph.Graph, cfg ScheduleConfig, seed int64) (*Schedule, error) {
+	if cfg.MTBF <= 0 || cfg.MTTR <= 0 {
+		return nil, fmt.Errorf("faults: schedule needs MTBF and MTTR > 0 (got %v, %v)", cfg.MTBF, cfg.MTTR)
+	}
+	if cfg.TerminalMTBF > 0 && cfg.TerminalMTTR <= 0 {
+		return nil, fmt.Errorf("faults: TerminalMTBF set but TerminalMTTR is %v", cfg.TerminalMTTR)
+	}
+	if cfg.MaxFaults < 1 {
+		return nil, fmt.Errorf("faults: schedule needs MaxFaults ≥ 1 (got %d)", cfg.MaxFaults)
+	}
+	s := &Schedule{
+		g:      g,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		faulty: bitset.New(g.NumNodes()),
+		gen:    make([]uint64, g.NumNodes()),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if m := s.mtbf(v); m > 0 {
+			s.push(v, s.draw(m))
+		}
+	}
+	return s, nil
+}
+
+func (s *Schedule) mtbf(v int) time.Duration {
+	if s.g.Kind(v) == graph.Processor {
+		return s.cfg.MTBF
+	}
+	return s.cfg.TerminalMTBF
+}
+
+func (s *Schedule) mttr(v int) time.Duration {
+	if s.g.Kind(v) == graph.Processor {
+		return s.cfg.MTTR
+	}
+	return s.cfg.TerminalMTTR
+}
+
+// draw samples an exponential holding time with the given mean, clamped
+// to [1µs, 20×mean] so a replay cannot stall on an extreme tail draw.
+func (s *Schedule) draw(mean time.Duration) time.Duration {
+	d := time.Duration(s.rng.ExpFloat64() * float64(mean))
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	if lim := 20 * mean; d > lim {
+		d = lim
+	}
+	return d
+}
+
+// push arms node's next transition `after` from the current clock,
+// superseding any timer the node already has.
+func (s *Schedule) push(node int, after time.Duration) {
+	s.gen[node]++
+	heap.Push(&s.h, schedTimer{at: s.clock + after, node: node, gen: s.gen[node]})
+}
+
+// Next returns the next batch of events: a single repair, a single fault,
+// or a burst of simultaneous faults (same At). The process is endless —
+// every event arms the node's next transition.
+func (s *Schedule) Next() []ScheduleEvent {
+	for {
+		t := heap.Pop(&s.h).(schedTimer)
+		if t.gen != s.gen[t.node] {
+			continue // superseded by a burst conscription or a Deny
+		}
+		s.clock = t.at
+		if s.faulty.Contains(t.node) {
+			// Repair completes; the node's next failure is armed.
+			s.faulty.Remove(t.node)
+			s.push(t.node, s.draw(s.mtbf(t.node)))
+			return []ScheduleEvent{{At: t.at, Node: t.node, Repair: true}}
+		}
+		if s.faulty.Count() >= s.cfg.MaxFaults {
+			// Budget full: defer this failure to a fresh draw.
+			s.push(t.node, s.draw(s.mtbf(t.node)))
+			continue
+		}
+		s.faulty.Add(t.node)
+		s.push(t.node, s.draw(s.mttr(t.node)))
+		evs := []ScheduleEvent{{At: t.at, Node: t.node}}
+		if s.cfg.MaxBurst > 1 && s.rng.Float64() < s.cfg.BurstProb {
+			evs = s.burst(evs)
+		}
+		return evs
+	}
+}
+
+// burst conscripts additional healthy nodes into a simultaneous failure,
+// up to MaxBurst total and never beyond the budget.
+func (s *Schedule) burst(evs []ScheduleEvent) []ScheduleEvent {
+	extra := s.cfg.MaxBurst - 1
+	if b := s.cfg.MaxFaults - s.faulty.Count(); extra > b {
+		extra = b
+	}
+	if extra <= 0 {
+		return evs
+	}
+	// Random burst size in [1, extra], then random healthy victims.
+	want := 1 + s.rng.Intn(extra)
+	var cands []int
+	for v := 0; v < s.g.NumNodes(); v++ {
+		if s.mtbf(v) > 0 && !s.faulty.Contains(v) {
+			cands = append(cands, v)
+		}
+	}
+	s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if want > len(cands) {
+		want = len(cands)
+	}
+	if want == 0 {
+		return evs
+	}
+	evs[0].Burst = true
+	for _, v := range cands[:want] {
+		s.faulty.Add(v)
+		s.push(v, s.draw(s.mttr(v))) // supersedes the pending failure timer
+		evs = append(evs, ScheduleEvent{At: s.clock, Node: v, Burst: true})
+	}
+	return evs
+}
+
+// Deny reverts one event the consumer could not apply — e.g. a fault whose
+// remap missed its deadline and was rolled back. The node returns to its
+// previous state and a retry is armed.
+func (s *Schedule) Deny(ev ScheduleEvent) {
+	if ev.Repair {
+		s.faulty.Add(ev.Node)
+		s.push(ev.Node, s.draw(s.mttr(ev.Node)))
+	} else {
+		s.faulty.Remove(ev.Node)
+		s.push(ev.Node, s.draw(s.mtbf(ev.Node)))
+	}
+}
+
+// Faulty returns a copy of the process's intended current fault set.
+func (s *Schedule) Faulty() bitset.Set { return s.faulty.Clone() }
+
+// Clock returns the time of the most recently emitted batch.
+func (s *Schedule) Clock() time.Duration { return s.clock }

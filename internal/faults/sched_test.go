@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"gdpn/internal/construct"
+)
+
+func schedCfg(k int) ScheduleConfig {
+	return ScheduleConfig{
+		MTBF:      100 * time.Millisecond,
+		MTTR:      30 * time.Millisecond,
+		MaxFaults: k,
+	}
+}
+
+// TestScheduleDeterministic: same graph, same seed, same config → the
+// exact same event sequence. This is the replayability contract the chaos
+// harness relies on to rerun a failing nightly seed.
+func TestScheduleDeterministic(t *testing.T) {
+	sol, err := construct.Design(12, 3)
+	if err != nil {
+		t.Fatalf("Design: %v", err)
+	}
+	run := func() []ScheduleEvent {
+		s, err := NewSchedule(sol.Graph, schedCfg(3), 42)
+		if err != nil {
+			t.Fatalf("NewSchedule: %v", err)
+		}
+		var evs []ScheduleEvent
+		for len(evs) < 200 {
+			evs = append(evs, s.Next()...)
+		}
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScheduleInvariants walks a long event stream checking the process's
+// state machine: faults only on healthy nodes, repairs only on faulty
+// ones, the concurrent-fault budget never exceeded, time monotone, and
+// bursts batched at a single instant.
+func TestScheduleInvariants(t *testing.T) {
+	sol, err := construct.Design(14, 3)
+	if err != nil {
+		t.Fatalf("Design: %v", err)
+	}
+	cfg := schedCfg(3)
+	cfg.BurstProb = 0.3
+	cfg.MaxBurst = 3
+	s, err := NewSchedule(sol.Graph, cfg, 7)
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	faulty := map[int]bool{}
+	var last time.Duration
+	faults, repairs, bursts := 0, 0, 0
+	for i := 0; i < 500; i++ {
+		evs := s.Next()
+		if evs[0].At < last {
+			t.Fatalf("time went backwards: %v after %v", evs[0].At, last)
+		}
+		last = evs[0].At
+		if len(evs) > 1 {
+			bursts++
+			for _, ev := range evs {
+				if ev.At != evs[0].At || !ev.Burst || ev.Repair {
+					t.Fatalf("malformed burst member: %v (batch head %v)", ev, evs[0])
+				}
+			}
+		}
+		for _, ev := range evs {
+			if ev.Repair {
+				if !faulty[ev.Node] {
+					t.Fatalf("repair of healthy node: %v", ev)
+				}
+				delete(faulty, ev.Node)
+				repairs++
+			} else {
+				if faulty[ev.Node] {
+					t.Fatalf("fault on already-faulty node: %v", ev)
+				}
+				faulty[ev.Node] = true
+				faults++
+			}
+			if sol.Graph.Kind(ev.Node).String() != "processor" {
+				t.Fatalf("terminal faulted with TerminalMTBF unset: %v", ev)
+			}
+		}
+		if len(faulty) > cfg.MaxFaults {
+			t.Fatalf("budget exceeded: %d concurrent faults (max %d)", len(faulty), cfg.MaxFaults)
+		}
+		if got := s.Faulty().Count(); got != len(faulty) {
+			t.Fatalf("Faulty() reports %d, shadow state has %d", got, len(faulty))
+		}
+	}
+	if faults == 0 || repairs == 0 {
+		t.Fatalf("process stalled: %d faults, %d repairs", faults, repairs)
+	}
+	if bursts == 0 {
+		t.Fatalf("no bursts in 500 batches at BurstProb=0.3")
+	}
+}
+
+// TestScheduleDeny checks the rollback feedback path: a denied fault
+// leaves the process's fault set unchanged and the node fails again
+// later; a denied repair keeps the node faulty.
+func TestScheduleDeny(t *testing.T) {
+	sol, err := construct.Design(10, 2)
+	if err != nil {
+		t.Fatalf("Design: %v", err)
+	}
+	s, err := NewSchedule(sol.Graph, schedCfg(2), 3)
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	// First event is a fault; deny it.
+	evs := s.Next()
+	ev := evs[0]
+	if ev.Repair {
+		t.Fatalf("first event should be a fault: %v", ev)
+	}
+	before := s.Faulty().Count()
+	s.Deny(ev)
+	if got := s.Faulty().Count(); got != before-1 {
+		t.Fatalf("deny of fault left %d faulty, want %d", got, before-1)
+	}
+	// The denied node must be rescheduled to fail again eventually.
+	seen := false
+	for i := 0; i < 500 && !seen; i++ {
+		for _, e := range s.Next() {
+			if e.Node == ev.Node && !e.Repair {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Fatalf("denied node %d never retried", ev.Node)
+	}
+}
+
+// TestScheduleConfigValidation rejects meaningless rate configurations.
+func TestScheduleConfigValidation(t *testing.T) {
+	sol, err := construct.Design(10, 2)
+	if err != nil {
+		t.Fatalf("Design: %v", err)
+	}
+	bad := []ScheduleConfig{
+		{MTTR: time.Second, MaxFaults: 1},                                       // no MTBF
+		{MTBF: time.Second, MaxFaults: 1},                                       // no MTTR
+		{MTBF: time.Second, MTTR: time.Second},                                  // no budget
+		{MTBF: time.Second, MTTR: time.Second, MaxFaults: 1, TerminalMTBF: 1e9}, // terminal MTBF without MTTR
+	}
+	for i, cfg := range bad {
+		if _, err := NewSchedule(sol.Graph, cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -67,15 +67,22 @@ type Engine struct {
 	mu     sync.Mutex // guards the remaining Metrics fields
 	m      Metrics
 
-	reg         *obs.Registry
-	framesTotal *obs.Counter
-	frameLat    *obs.Histogram
-	stageTime   *obs.Histogram
-	sendStall   *obs.Histogram
-	epochTime   *obs.Histogram
-	epochTput   *obs.Gauge
-	procsInUse  *obs.Gauge
-	remapLat    [2]*obs.Histogram // indexed by opInject/opRepair
+	// stream is the live Stream instance, if any; Inject/Repair route
+	// through it so remaps drain and requeue in-flight frames.
+	stream atomic.Pointer[Stream]
+
+	reg            *obs.Registry
+	framesTotal    *obs.Counter
+	framesRequeued *obs.Counter
+	frameLat       *obs.Histogram
+	stageTime      *obs.Histogram
+	sendStall      *obs.Histogram
+	epochTime      *obs.Histogram
+	epochTput      *obs.Gauge
+	procsInUse     *obs.Gauge
+	frameLoss      *obs.Gauge
+	remapDowntime  *obs.Histogram
+	remapLat       [2]*obs.Histogram // indexed by opInject/opRepair
 }
 
 const (
@@ -98,14 +105,17 @@ func New(sol *construct.Solution, stgs []stages.Stage) (*Engine, error) {
 	reg := obs.Default()
 	e := &Engine{
 		g: sol.Graph, mgr: mgr, stages: stgs,
-		reg:         reg,
-		framesTotal: reg.Counter("pipeline_frames_total"),
-		frameLat:    reg.Histogram("pipeline_frame_latency_ns"),
-		stageTime:   reg.Histogram("pipeline_stage_ns"),
-		sendStall:   reg.Histogram("pipeline_send_stall_ns"),
-		epochTime:   reg.Histogram("pipeline_epoch_ns"),
-		epochTput:   reg.Gauge("pipeline_epoch_throughput_bps"),
-		procsInUse:  reg.Gauge("pipeline_procs_in_use"),
+		reg:            reg,
+		framesTotal:    reg.Counter("pipeline_frames_total"),
+		framesRequeued: reg.Counter("pipeline_frames_requeued_total"),
+		frameLat:       reg.Histogram("pipeline_frame_latency_ns"),
+		stageTime:      reg.Histogram("pipeline_stage_ns"),
+		sendStall:      reg.Histogram("pipeline_send_stall_ns"),
+		epochTime:      reg.Histogram("pipeline_epoch_ns"),
+		epochTput:      reg.Gauge("pipeline_epoch_throughput_bps"),
+		procsInUse:     reg.Gauge("pipeline_procs_in_use"),
+		frameLoss:      reg.Gauge("pipeline_frame_loss"),
+		remapDowntime:  reg.Histogram("pipeline_remap_downtime_ns"),
 		remapLat: [2]*obs.Histogram{
 			reg.Histogram("pipeline_remap_ns", obs.L("op", "inject")),
 			reg.Histogram("pipeline_remap_ns", obs.L("op", "repair")),
@@ -144,9 +154,23 @@ func (e *Engine) StagesOn(pos int) []int {
 // Inject marks a node faulty and repairs the pipeline — locally when one
 // of the reconfig tactics applies, by full recompute otherwise. It returns
 // an error (leaving the previous mapping in place) when the node is
-// already faulty or when no pipeline survives — the latter only happens
-// beyond the design fault budget k.
+// already faulty, when a remap deadline set via SetRemapDeadline expires
+// (errors.Is reconfig.ErrDeadline; the fault is rolled back), or when no
+// pipeline survives — the latter only happens beyond the design fault
+// budget k. While a Stream is active the injection routes through it:
+// in-flight frames are drained and requeued around the remap so none is
+// lost or duplicated.
 func (e *Engine) Inject(node int) error {
+	if s := e.stream.Load(); s != nil {
+		return s.remap(false, node)
+	}
+	return e.applyFault(node)
+}
+
+// applyFault performs the fault injection on a quiesced engine (no frames
+// in flight): epoch-mode callers come here directly, a Stream's pump after
+// draining its chain.
+func (e *Engine) applyFault(node int) error {
 	start := time.Now()
 	if _, err := e.mgr.Fault(node); err != nil {
 		return fmt.Errorf("pipeline: %w", err)
@@ -165,7 +189,16 @@ func (e *Engine) Inject(node int) error {
 }
 
 // Repair marks a node healthy again and reinstates it in the pipeline.
+// While a Stream is active the repair routes through it, like Inject.
 func (e *Engine) Repair(node int) error {
+	if s := e.stream.Load(); s != nil {
+		return s.remap(true, node)
+	}
+	return e.applyRepair(node)
+}
+
+// applyRepair performs the repair on a quiesced engine; see applyFault.
+func (e *Engine) applyRepair(node int) error {
 	start := time.Now()
 	if _, err := e.mgr.Repair(node); err != nil {
 		return fmt.Errorf("pipeline: %w", err)
@@ -321,5 +354,15 @@ func (e *Engine) observeEpoch(frames []Frame, elapsed time.Duration) {
 	e.epochTput.Set(int64(float64(samples*8) / elapsed.Seconds()))
 }
 
-// Faults returns the currently injected fault set (aliased; do not modify).
+// SetRemapDeadline bounds every reconfiguration's full-remap solve to d
+// of wall-clock time: a remap that misses it is rolled back — the previous
+// pipeline stays live and Inject/Repair report reconfig.ErrDeadline so the
+// caller can retry. 0 disables the bound.
+func (e *Engine) SetRemapDeadline(d time.Duration) { e.mgr.SetDeadline(d) }
+
+// Downtime returns the reconfiguration manager's per-tactic downtime
+// ledger (a copy).
+func (e *Engine) Downtime() reconfig.DowntimeStats { return e.mgr.Downtime() }
+
+// Faults returns a defensive copy of the currently injected fault set.
 func (e *Engine) Faults() bitset.Set { return e.mgr.Faults() }

@@ -1,0 +1,390 @@
+package pipeline
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the continuous-streaming runtime: unlike Process, which
+// runs one epoch at a time with faults injected only between epochs, a
+// Stream keeps frames flowing while faults arrive and is engineered so
+// that a live reconfiguration loses, duplicates, and reorders nothing.
+//
+// Mechanism. Frames travel the goroutine-per-processor chain as tokens
+// that carry their stage progress (token.next = first logical stage not
+// yet applied). When a remap arrives, the pump (1) flips the chain into
+// draining mode — workers stop processing and pass tokens through
+// untouched — and closes the head, so every in-flight token flushes out
+// of the tail with its progress recorded; (2) applies the fault/repair on
+// the now-quiesced engine, honoring the remap deadline with rollback to
+// the last valid mapping; (3) requeues the unfinished tokens, oldest
+// first, ahead of the backlog; and (4) rebuilds the chain over the new
+// mapping, where each token resumes at exactly the stage it had reached.
+// Because every stage processes frames in submission order exactly once,
+// stateful stages (FIR, LZ78, …) stay bit-identical with an unfaulted
+// run.
+//
+// Backpressure. Submit blocks when MaxPending frames are already queued —
+// including for the whole of a remap stall — so a slow or paused pipeline
+// pushes back on the producer instead of dropping. The sink checks
+// sequence numbers against the exact submission order and counts any
+// gap (lost), repeat (duplicated), or inversion (out-of-order); a clean
+// run reports zeros and the pipeline_frame_loss gauge stays 0.
+
+var (
+	// ErrStreamActive is returned by StartStream when the engine already
+	// has a live stream.
+	ErrStreamActive = errors.New("pipeline: engine already has an active stream")
+	// ErrStreamClosed is returned by Submit/Inject/Repair after Close.
+	ErrStreamClosed = errors.New("pipeline: stream is closed")
+)
+
+// StreamConfig configures a Stream.
+type StreamConfig struct {
+	// MaxPending bounds the frames buffered ahead of the processor chain;
+	// a full buffer blocks Submit (backpressure) rather than dropping.
+	// Default 64.
+	MaxPending int
+}
+
+// StreamReport is the stream's end-to-end accounting. In a correct run
+// Lost, Duplicated, and OutOfOrder are all zero and Delivered equals
+// Submitted (after Close).
+type StreamReport struct {
+	// Submitted counts frames accepted by Submit.
+	Submitted int64
+	// Delivered counts frames emitted on Out.
+	Delivered int64
+	// Requeued counts in-flight frames handed back across remaps (a frame
+	// surviving several remaps counts once per requeue).
+	Requeued int64
+	// Lost counts submitted frames that never reached the sink.
+	Lost int64
+	// Duplicated counts sink arrivals with no matching submission.
+	Duplicated int64
+	// OutOfOrder counts sink arrivals that did not strictly increase.
+	OutOfOrder int64
+	// Remaps counts successful live reconfigurations; RemapFailures the
+	// rejected ones (deadline rollbacks, beyond-budget fault sets).
+	Remaps, RemapFailures int64
+	// TotalDowntime/MaxDowntime measure the stall windows: drain → remap →
+	// chain rebuilt, during which no frame makes progress.
+	TotalDowntime, MaxDowntime time.Duration
+}
+
+// Clean reports whether the stream kept the zero-loss invariant: every
+// submitted frame delivered exactly once, in order.
+func (r StreamReport) Clean() bool {
+	return r.Lost == 0 && r.Duplicated == 0 && r.OutOfOrder == 0 && r.Submitted == r.Delivered
+}
+
+// token is a frame in flight, annotated with its stage progress so a
+// drained frame can resume on a new mapping without repeating or skipping
+// a stage.
+type token struct {
+	seq  int
+	next int // first logical stage index not yet applied
+	data []float64
+}
+
+// chain is one incarnation of the goroutine-per-processor pipeline.
+type chain struct {
+	head     chan token
+	tail     chan token
+	draining atomic.Bool // workers pass tokens through untouched when set
+}
+
+type remapReq struct {
+	repair bool
+	node   int
+	reply  chan error
+}
+
+// Stream is a continuously running instance of the engine: frames go in
+// via Submit, come out via Out in submission order, and faults/repairs
+// remap the pipeline live (route them through Engine.Inject / Repair).
+// Submit must be called with strictly increasing Frame.Seq, and must not
+// race with Close; all other methods are safe for concurrent use.
+type Stream struct {
+	e          *Engine
+	maxPending int
+
+	submitc chan Frame
+	outc    chan Frame
+	remapc  chan remapReq
+	donec   chan struct{}
+
+	closeOnce sync.Once
+
+	submitted, delivered, requeued atomic.Int64
+	lost, duplicated, outOfOrder   atomic.Int64
+	remaps, remapFailures          atomic.Int64
+	totalDowntimeNS, maxDowntimeNS atomic.Int64
+
+	// Pump-owned state (no locking: only the run goroutine touches it).
+	pending []token // frames waiting to enter the chain; front = oldest
+	expect  []int   // seqs submitted but not yet delivered, FIFO
+	lastSeq int     // last emitted seq, for the inversion check
+	hasLast bool
+}
+
+// StartStream switches the engine into continuous streaming. Only one
+// stream may be active at a time; Close it before starting another or
+// calling Process.
+func (e *Engine) StartStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	// Out is sized so that the whole in-flight population (pending backlog
+	// plus chain occupancy) fits without blocking the pump; a slower
+	// consumer then backpressures naturally through the chain to Submit.
+	nProc := len(e.g.Processors())
+	s := &Stream{
+		e:          e,
+		maxPending: cfg.MaxPending,
+		submitc:    make(chan Frame),
+		outc:       make(chan Frame, cfg.MaxPending+5*(nProc+1)),
+		remapc:     make(chan remapReq),
+		donec:      make(chan struct{}),
+	}
+	if !e.stream.CompareAndSwap(nil, s) {
+		return nil, ErrStreamActive
+	}
+	go s.run()
+	return s, nil
+}
+
+// Submit queues one frame, blocking while the pending buffer is full —
+// including for the whole of a remap stall — and never dropping. Frames
+// must carry strictly increasing Seq.
+func (s *Stream) Submit(f Frame) error {
+	select {
+	case s.submitc <- f:
+		return nil
+	case <-s.donec:
+		return ErrStreamClosed
+	}
+}
+
+// Out returns the delivery channel. Frames appear in submission order;
+// the channel closes after Close has flushed everything.
+func (s *Stream) Out() <-chan Frame { return s.outc }
+
+// Close ends the stream after all Submit calls have returned: the backlog
+// and every in-flight frame are flushed through the pipeline, Out is
+// closed, and the final report is returned. Idempotent.
+func (s *Stream) Close() StreamReport {
+	s.closeOnce.Do(func() { close(s.submitc) })
+	<-s.donec
+	s.e.stream.CompareAndSwap(s, nil)
+	return s.Report()
+}
+
+// Report returns a snapshot of the stream's accounting; after Close it is
+// the final report.
+func (s *Stream) Report() StreamReport {
+	return StreamReport{
+		Submitted:     s.submitted.Load(),
+		Delivered:     s.delivered.Load(),
+		Requeued:      s.requeued.Load(),
+		Lost:          s.lost.Load(),
+		Duplicated:    s.duplicated.Load(),
+		OutOfOrder:    s.outOfOrder.Load(),
+		Remaps:        s.remaps.Load(),
+		RemapFailures: s.remapFailures.Load(),
+		TotalDowntime: time.Duration(s.totalDowntimeNS.Load()),
+		MaxDowntime:   time.Duration(s.maxDowntimeNS.Load()),
+	}
+}
+
+// remap asks the pump to apply a fault or repair between frames. It
+// returns the engine's error (nil on success, reconfig.ErrDeadline-
+// wrapped on a rolled-back remap).
+func (s *Stream) remap(repair bool, node int) error {
+	req := remapReq{repair: repair, node: node, reply: make(chan error, 1)}
+	select {
+	case s.remapc <- req:
+		return <-req.reply
+	case <-s.donec:
+		return ErrStreamClosed
+	}
+}
+
+// run is the pump: the single goroutine that feeds the chain head, drains
+// the tail, and serializes remaps against frame movement.
+func (s *Stream) run() {
+	defer close(s.donec)
+	c := s.e.newChain()
+	inflight := 0
+	closing := false
+	for {
+		if closing && len(s.pending) == 0 && inflight == 0 {
+			break
+		}
+		var headc chan token
+		var tok token
+		if len(s.pending) > 0 {
+			headc, tok = c.head, s.pending[0]
+		}
+		submitc := s.submitc
+		if closing || len(s.pending) >= s.maxPending {
+			submitc = nil // backpressure: stop accepting until the backlog drains
+		}
+		select {
+		case f, ok := <-submitc:
+			if !ok {
+				closing = true
+				continue
+			}
+			s.pending = append(s.pending, token{seq: f.Seq, data: f.Data})
+			s.expect = append(s.expect, f.Seq)
+			s.submitted.Add(1)
+		case headc <- tok:
+			s.pending = s.pending[1:]
+			inflight++
+		case t := <-c.tail:
+			inflight--
+			s.emit(t)
+		case req := <-s.remapc:
+			c = s.handleRemap(c, &inflight, req)
+		}
+	}
+	close(c.head)
+	for range c.tail {
+		// inflight is zero, so nothing should arrive; drain defensively so
+		// the workers can always exit.
+	}
+	// Anything still expected was never delivered: lost (zero when clean).
+	s.lost.Add(int64(len(s.expect)))
+	s.e.frameLoss.Set(int64(len(s.expect)))
+	close(s.outc)
+}
+
+// handleRemap is the zero-loss live reconfiguration: drain, remap (or
+// roll back), requeue, rebuild. Returns the new chain.
+func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
+	e := s.e
+	start := time.Now()
+	// 1. Drain: stop processing and flush every in-flight token out of the
+	// old mapping with its progress recorded.
+	c.draining.Store(true)
+	close(c.head)
+	var requeue []token
+	for t := range c.tail {
+		*inflight--
+		if t.next >= len(e.stages) {
+			s.emit(t) // finished before the drain caught it
+		} else {
+			requeue = append(requeue, t)
+		}
+	}
+	// Tokens leave the chain oldest-first already; sort defensively — the
+	// requeue MUST resume in submission order or stateful stages corrupt.
+	sort.Slice(requeue, func(i, j int) bool { return requeue[i].seq < requeue[j].seq })
+	// 2. Remap on the quiesced engine. On error (deadline rollback,
+	// beyond-budget fault) the previous mapping is still in place and the
+	// chain below simply restarts over it.
+	var err error
+	if req.repair {
+		err = e.applyRepair(req.node)
+	} else {
+		err = e.applyFault(req.node)
+	}
+	if err != nil {
+		s.remapFailures.Add(1)
+	} else {
+		s.remaps.Add(1)
+	}
+	// 3. Requeue unfinished frames ahead of the backlog.
+	if len(requeue) > 0 {
+		s.pending = append(requeue, s.pending...)
+		s.requeued.Add(int64(len(requeue)))
+		e.framesRequeued.Add(int64(len(requeue)))
+	}
+	// 4. Rebuild the chain over the (possibly rolled-back) mapping.
+	nc := e.newChain()
+	d := time.Since(start)
+	s.totalDowntimeNS.Add(int64(d))
+	for {
+		cur := s.maxDowntimeNS.Load()
+		if int64(d) <= cur || s.maxDowntimeNS.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	e.remapDowntime.ObserveDuration(d)
+	// With the chain empty every undelivered frame must be queued; the
+	// difference is the loss gauge, and it must read zero.
+	e.frameLoss.Set(int64(len(s.expect) - len(s.pending)))
+	req.reply <- err
+	return nc
+}
+
+// emit delivers one finished token, checking it against the exact
+// submission order: any gap is loss, any unmatched arrival duplication,
+// any non-increasing seq an inversion.
+func (s *Stream) emit(t token) {
+	if s.hasLast && t.seq <= s.lastSeq {
+		s.outOfOrder.Add(1)
+	}
+	s.hasLast, s.lastSeq = true, t.seq
+	matched := false
+	for len(s.expect) > 0 && s.expect[0] <= t.seq {
+		if s.expect[0] == t.seq {
+			s.expect = s.expect[1:]
+			matched = true
+			break
+		}
+		s.expect = s.expect[1:]
+		s.lost.Add(1)
+	}
+	if !matched {
+		s.duplicated.Add(1)
+	}
+	s.delivered.Add(1)
+	s.e.frames.Add(1)
+	s.e.framesTotal.Add(1)
+	s.outc <- Frame{Seq: t.seq, Data: t.data}
+}
+
+// newChain spins up one goroutine per pipeline position over the current
+// stage assignment, wired by small buffered channels.
+func (e *Engine) newChain() *chain {
+	L := len(e.assign)
+	chans := make([]chan token, L+1)
+	for i := range chans {
+		chans[i] = make(chan token, 4)
+	}
+	c := &chain{head: chans[0], tail: chans[L]}
+	for pos := 0; pos < L; pos++ {
+		go e.chainWorker(c, chans[pos], chans[pos+1], e.assign[pos])
+	}
+	return c
+}
+
+// chainWorker applies the owned logical stages a token has not yet seen
+// (token.next skips the ones applied before a previous remap) and
+// forwards it; while the chain drains it passes tokens through untouched.
+func (e *Engine) chainWorker(c *chain, in <-chan token, out chan<- token, owned []int) {
+	S := len(e.stages)
+	for t := range in {
+		if !c.draining.Load() && t.next < S {
+			processed := false
+			for _, si := range owned {
+				if si >= t.next {
+					t.data = e.stages[si].Process(t.data)
+					t.next = si + 1
+					processed = true
+				}
+			}
+			if processed {
+				// Stage output buffers are reused per instance; detach.
+				t.data = append([]float64(nil), t.data...)
+			}
+		}
+		out <- t
+	}
+	close(out)
+}

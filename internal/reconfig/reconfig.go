@@ -19,6 +19,7 @@
 package reconfig
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -76,6 +77,27 @@ type Stats struct {
 	MovedStages int
 }
 
+// ErrDeadline is wrapped into the error returned by Fault/Repair when a
+// full-remap solve misses the manager's deadline (SetDeadline). The
+// operation is rolled back: the previous pipeline stays live and the
+// node's fault state is unchanged, so the caller can retry later.
+var ErrDeadline = errors.New("remap deadline exceeded")
+
+// DowntimeStats is the per-tactic downtime ledger: how long the pipeline
+// was unavailable (from fault arrival to the new mapping being installed)
+// under each repair tactic, plus the time burnt on rolled-back attempts.
+type DowntimeStats struct {
+	// PerTactic accumulates repair latency by the tactic that resolved it.
+	PerTactic [FullRemap + 1]time.Duration
+	// Total is the sum over PerTactic (rollback time excluded).
+	Total time.Duration
+	// Rollbacks counts operations undone after a deadline miss or an
+	// unsolvable (beyond-budget) fault set.
+	Rollbacks int
+	// RollbackTime accumulates the time spent on rolled-back attempts.
+	RollbackTime time.Duration
+}
+
 // Manager holds the live pipeline of one network.
 type Manager struct {
 	g      *graph.Graph
@@ -83,6 +105,13 @@ type Manager struct {
 	faults bitset.Set
 	path   graph.Path
 	stats  Stats
+
+	// deadline bounds each repair's full-remap solve (0 = unbounded); see
+	// SetDeadline. downtime/rollbacks feed DowntimeStats.
+	deadline     time.Duration
+	downtime     [FullRemap + 1]time.Duration
+	rollbacks    int
+	rollbackTime time.Duration
 
 	reg          *obs.Registry
 	repairLat    [FullRemap + 1]*obs.Histogram // per-tactic repair latency
@@ -106,7 +135,7 @@ func New(sol *construct.Solution) (*Manager, error) {
 	}
 	m.certFailures = m.reg.Counter("reconfig_cert_failures_total")
 	m.fallbacks = m.reg.Counter("reconfig_full_remap_fallback_total")
-	if err := m.fullRemap(); err != nil {
+	if err := m.fullRemap(time.Now()); err != nil {
 		return nil, err
 	}
 	m.stats = Stats{} // the initial mapping is not a repair
@@ -116,11 +145,37 @@ func New(sol *construct.Solution) (*Manager, error) {
 // Pipeline returns the current pipeline (aliased; do not modify).
 func (m *Manager) Pipeline() graph.Path { return m.path }
 
-// Stats returns the repair counters.
+// Stats returns a copy of the repair counters; mutating the result does
+// not affect the manager.
 func (m *Manager) Stats() Stats { return m.stats }
 
-// Faults returns the current fault set (aliased; do not modify).
-func (m *Manager) Faults() bitset.Set { return m.faults }
+// Faults returns a defensive copy of the current fault set; mutating the
+// result does not affect the manager.
+func (m *Manager) Faults() bitset.Set { return m.faults.Clone() }
+
+// SetDeadline bounds every subsequent repair's full-remap solve to d of
+// wall-clock time: the solver itself gives up (and the operation rolls
+// back to the last valid pipeline) when the deadline expires, and even a
+// solution that arrives late is discarded — a deployment would already
+// have declared the remap failed. Local tactics (splice/rewire/swap/
+// insert) are microsecond-scale and are not bounded. 0 disables.
+func (m *Manager) SetDeadline(d time.Duration) {
+	m.deadline = d
+	m.solver.SetDeadline(d)
+}
+
+// Downtime returns a copy of the per-tactic downtime ledger.
+func (m *Manager) Downtime() DowntimeStats {
+	ds := DowntimeStats{
+		PerTactic:    m.downtime,
+		Rollbacks:    m.rollbacks,
+		RollbackTime: m.rollbackTime,
+	}
+	for _, d := range m.downtime {
+		ds.Total += d
+	}
+	return ds
+}
 
 // Fault marks a node faulty and repairs the pipeline, preferring local
 // tactics. It returns the tactic used, or an error when no pipeline
@@ -134,10 +189,7 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 		return 0, fmt.Errorf("reconfig: node %d already faulty", node)
 	}
 	observing := m.reg.Enabled()
-	var start time.Time
-	if observing {
-		start = time.Now()
-	}
+	start := time.Now() // always sampled: downtime accounting is not gated on obs
 	m.faults.Add(node)
 
 	idx := -1
@@ -151,6 +203,7 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 		// Not on the pipeline: only unused terminals qualify (every healthy
 		// processor is on the pipeline by definition).
 		m.stats.NoChange++
+		m.downtime[NoChange] += time.Since(start)
 		m.observeRepair(NoChange, start, node, observing)
 		return NoChange, nil
 	}
@@ -168,6 +221,7 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 			m.stats.MovedStages += movedStages(m.path, repaired)
 			m.path = repaired
 			m.bump(tactic)
+			m.downtime[tactic] += time.Since(start)
 			m.observeRepair(tactic, start, node, observing)
 			return tactic, nil
 		}
@@ -179,11 +233,14 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 	// Local tactics failed (or produced something invalid): full remap.
 	m.fallbacks.Inc()
 	m.reg.Eventf("full_remap_fallback", "node=%d", node)
-	if err := m.fullRemap(); err != nil {
+	if err := m.fullRemap(start); err != nil {
 		m.faults.Remove(node)
+		m.rollbacks++
+		m.rollbackTime += time.Since(start)
 		m.reg.Eventf("repair_failed", "node=%d err=%v", node, err)
 		return 0, err
 	}
+	m.downtime[FullRemap] += time.Since(start)
 	m.observeRepair(FullRemap, start, node, observing)
 	return FullRemap, nil
 }
@@ -207,14 +264,12 @@ func (m *Manager) Repair(node int) (Tactic, error) {
 		return 0, fmt.Errorf("reconfig: node %d is not faulty", node)
 	}
 	observing := m.reg.Enabled()
-	var start time.Time
-	if observing {
-		start = time.Now()
-	}
+	start := time.Now() // always sampled: downtime accounting is not gated on obs
 	m.faults.Remove(node)
 	if m.g.Kind(node) != graph.Processor {
 		// A repaired terminal changes nothing until an endpoint needs it.
 		m.stats.NoChange++
+		m.downtime[NoChange] += time.Since(start)
 		m.observeRepair(NoChange, start, node, observing)
 		return NoChange, nil
 	}
@@ -228,6 +283,7 @@ func (m *Manager) Repair(node int) (Tactic, error) {
 			if verify.CheckPipeline(m.g, m.faults, repaired) == nil {
 				m.path = repaired
 				m.stats.Insert++
+				m.downtime[Insert] += time.Since(start)
 				m.observeRepair(Insert, start, node, observing)
 				return Insert, nil
 			}
@@ -235,11 +291,14 @@ func (m *Manager) Repair(node int) (Tactic, error) {
 	}
 	m.fallbacks.Inc()
 	m.reg.Eventf("full_remap_fallback", "node=%d", node)
-	if err := m.fullRemap(); err != nil {
+	if err := m.fullRemap(start); err != nil {
 		m.faults.Add(node)
+		m.rollbacks++
+		m.rollbackTime += time.Since(start)
 		m.reg.Eventf("repair_failed", "node=%d err=%v", node, err)
 		return 0, err
 	}
+	m.downtime[FullRemap] += time.Since(start)
 	m.observeRepair(FullRemap, start, node, observing)
 	return FullRemap, nil
 }
@@ -307,8 +366,18 @@ func (m *Manager) repairEndpoint(idx int) (graph.Path, Tactic) {
 	return nil, FullRemap
 }
 
-func (m *Manager) fullRemap() error {
+// fullRemap recomputes the pipeline with the solver. The solve is bounded
+// by the manager's deadline two ways: the solver itself polls the clock
+// and reports Unknown on expiry, and a result that lands after the
+// deadline — even a valid one — is discarded, because a deployment would
+// already have declared the remap failed. `started` is when the repair
+// began (the deadline covers the whole repair, local tactics included).
+func (m *Manager) fullRemap(started time.Time) error {
 	res := m.solver.Find(m.faults)
+	if m.deadline > 0 && time.Since(started) > m.deadline {
+		return fmt.Errorf("reconfig: %w (%v elapsed, deadline %v)",
+			ErrDeadline, time.Since(started).Round(time.Microsecond), m.deadline)
+	}
 	if !res.Found {
 		return fmt.Errorf("reconfig: no pipeline (unknown=%v, faults=%v)", res.Unknown, m.faults.Slice())
 	}

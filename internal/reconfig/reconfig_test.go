@@ -1,12 +1,17 @@
 package reconfig_test
 
 import (
+	"errors"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"gdpn/internal/construct"
 	"gdpn/internal/graph"
+	"gdpn/internal/pipeline"
 	"gdpn/internal/reconfig"
+	"gdpn/internal/stages"
 	"gdpn/internal/verify"
 )
 
@@ -173,45 +178,167 @@ func TestBeyondBudgetRollsBack(t *testing.T) {
 }
 
 func TestRandomSoakAlwaysValid(t *testing.T) {
-	// Fault/repair churn across several designs; every intermediate
-	// pipeline must be a valid full-coverage pipeline.
+	// Fault/repair churn across several designs while frames stream
+	// continuously through the live engine: every intermediate pipeline
+	// must be a valid full-coverage pipeline AND the concurrent traffic
+	// must come out with zero loss, duplication, or reordering.
 	for _, c := range []struct{ n, k int }{{10, 2}, {14, 3}, {22, 4}, {40, 4}} {
 		sol, err := construct.Design(c.n, c.k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := reconfig.New(sol)
+		eng, err := pipeline.New(sol, []stages.Stage{
+			stages.NewFIR([]float64{0.5, 0.5}),
+			stages.NewQuantize(-8, 8, 64),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		st, err := eng.StartStream(pipeline.StreamConfig{MaxPending: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // producer: continuous traffic through every remap
+			defer wg.Done()
+			data := make([]float64, 64)
+			for i := range data {
+				data[i] = float64(i%7) - 3
+			}
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := pipeline.Frame{Seq: seq, Data: append([]float64(nil), data...)}
+				if st.Submit(f) != nil {
+					return
+				}
+			}
+		}()
+		consumerDone := make(chan struct{})
+		go func() {
+			defer close(consumerDone)
+			for range st.Out() {
+			}
+		}()
+
 		rng := rand.New(rand.NewSource(int64(c.n)))
 		for step := 0; step < 300; step++ {
-			if m.Faults().Count() < c.k && rng.Intn(2) == 0 {
+			if eng.Faults().Count() < c.k && rng.Intn(2) == 0 {
 				v := rng.Intn(sol.Graph.NumNodes())
-				if !m.Faults().Contains(v) {
-					if _, err := m.Fault(v); err != nil {
+				if !eng.Faults().Contains(v) {
+					if err := eng.Inject(v); err != nil {
 						t.Fatalf("(%d,%d) step %d: %v", c.n, c.k, step, err)
 					}
 				}
-			} else if m.Faults().Count() > 0 {
-				fs := m.Faults().Slice()
-				if _, err := m.Repair(fs[rng.Intn(len(fs))]); err != nil {
+			} else if eng.Faults().Count() > 0 {
+				fs := eng.Faults().Slice()
+				if err := eng.Repair(fs[rng.Intn(len(fs))]); err != nil {
 					t.Fatalf("(%d,%d) step %d: %v", c.n, c.k, step, err)
 				}
 			}
-			mustValid(t, m, sol.Graph)
+			if err := verify.CheckPipeline(sol.Graph, eng.Faults(), eng.Pipeline()); err != nil {
+				t.Fatalf("(%d,%d) step %d: invalid pipeline: %v", c.n, c.k, step, err)
+			}
 		}
-		st := m.Stats()
-		total := st.NoChange + st.Splice + st.Rewire + st.EndpointSwap + st.Insert + st.FullRemap
+
+		close(stop)
+		wg.Wait()
+		rep := st.Close()
+		<-consumerDone
+		if !rep.Clean() {
+			t.Fatalf("(%d,%d): stream not clean after churn: %+v", c.n, c.k, rep)
+		}
+		if rep.Submitted == 0 {
+			t.Fatalf("(%d,%d): no traffic flowed during the soak", c.n, c.k)
+		}
+
+		stats := eng.Metrics().Repairs
+		total := stats.NoChange + stats.Splice + stats.Rewire + stats.EndpointSwap + stats.Insert + stats.FullRemap
 		if total == 0 {
 			t.Fatalf("(%d,%d): no repairs recorded", c.n, c.k)
 		}
 		// Local tactics must carry a meaningful share.
-		local := st.Splice + st.Rewire + st.EndpointSwap + st.Insert + st.NoChange
+		local := stats.Splice + stats.Rewire + stats.EndpointSwap + stats.Insert + stats.NoChange
 		if local == 0 {
-			t.Errorf("(%d,%d): every repair was a full remap: %+v", c.n, c.k, st)
+			t.Errorf("(%d,%d): every repair was a full remap: %+v", c.n, c.k, stats)
 		}
 	}
+}
+
+func TestAccessorsReturnDefensiveCopies(t *testing.T) {
+	m := manager(t, 10, 2)
+	if _, err := m.Fault(0); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Faults()
+	f.Remove(0)
+	f.Add(1)
+	if !m.Faults().Contains(0) {
+		t.Fatal("mutating the set returned by Faults() removed a fault from the manager")
+	}
+	if m.Faults().Contains(1) {
+		t.Fatal("mutating the set returned by Faults() added a fault to the manager")
+	}
+	before := m.Stats()
+	s := m.Stats()
+	s.FullRemap += 100
+	s.NoChange += 100
+	if m.Stats() != before {
+		t.Fatal("mutating the Stats() result changed the manager's counters")
+	}
+}
+
+func TestRemapDeadlineRollsBack(t *testing.T) {
+	// G(10,2) terminals have degree 1, so faulting a pipeline endpoint
+	// cannot be endpoint-swapped and must go through the full solver —
+	// which a 1ns deadline always fails, forcing the rollback path.
+	sol, err := construct.Design(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reconfig.New(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetDeadline(time.Nanosecond)
+	before := append(graph.Path(nil), m.Pipeline()...)
+	victim := before[0]
+	_, err = m.Fault(victim)
+	if !errors.Is(err, reconfig.ErrDeadline) {
+		t.Fatalf("Fault(%d) = %v, want ErrDeadline", victim, err)
+	}
+	// Rolled back: fault bit reverted, previous pipeline still live+valid.
+	if m.Faults().Contains(victim) {
+		t.Fatal("deadline rollback left the fault recorded")
+	}
+	mustValid(t, m, sol.Graph)
+	if len(m.Pipeline()) != len(before) {
+		t.Fatal("pipeline replaced despite deadline rollback")
+	}
+	ds := m.Downtime()
+	if ds.Rollbacks < 1 || ds.RollbackTime <= 0 {
+		t.Fatalf("rollback not accounted: %+v", ds)
+	}
+	// With the bound lifted the same fault must succeed.
+	m.SetDeadline(0)
+	if _, err := m.Fault(victim); err != nil {
+		t.Fatalf("retry after lifting deadline: %v", err)
+	}
+	mustValid(t, m, sol.Graph)
+	if m.Downtime().PerTactic[reconfig.FullRemap] <= 0 {
+		t.Fatalf("full-remap downtime not recorded: %+v", m.Downtime())
+	}
+	// A generous deadline does not get in the way.
+	m.SetDeadline(time.Hour)
+	if _, err := m.Repair(victim); err != nil {
+		t.Fatalf("repair under generous deadline: %v", err)
+	}
+	mustValid(t, m, sol.Graph)
 }
 
 func TestTacticString(t *testing.T) {
