@@ -9,43 +9,17 @@
 // sub-threshold runs are all noise), or when its ok flag flips to false.
 // Experiments present on only one side are reported but not fatal, so
 // adding a benchmark does not break the gate. Exit status 1 on any
-// regression.
+// regression. The classification logic lives in internal/benchcmp.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
+
+	"gdpn/internal/benchcmp"
 )
-
-type experiment struct {
-	ID        string `json:"id"`
-	Title     string `json:"title"`
-	OK        bool   `json:"ok"`
-	ElapsedNS int64  `json:"elapsed_ns"`
-}
-
-type snapshot struct {
-	OK          bool         `json:"ok"`
-	Experiments []experiment `json:"experiments"`
-}
-
-func load(path string) (*snapshot, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var s snapshot
-	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if len(s.Experiments) == 0 {
-		return nil, fmt.Errorf("%s: no experiments in snapshot", path)
-	}
-	return &s, nil
-}
 
 func main() {
 	maxRatio := flag.Float64("max-ratio", 1.25, "fail when current/baseline elapsed exceeds this")
@@ -55,59 +29,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-ratio R] [-min D] baseline.json current.json")
 		os.Exit(2)
 	}
-	base, err := load(flag.Arg(0))
+	base, err := benchcmp.Load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := load(flag.Arg(1))
+	cur, err := benchcmp.Load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
-
-	baseByID := make(map[string]experiment, len(base.Experiments))
-	for _, e := range base.Experiments {
-		baseByID[e.ID] = e
-	}
-
-	regressions := 0
-	compared := 0
-	seen := make(map[string]bool, len(cur.Experiments))
-	for _, c := range cur.Experiments {
-		seen[c.ID] = true
-		b, ok := baseByID[c.ID]
-		if !ok {
-			fmt.Printf("new     %-6s %s (%v) — not in baseline, skipped\n",
-				c.ID, c.Title, time.Duration(c.ElapsedNS).Round(time.Millisecond))
-			continue
-		}
-		if b.OK && !c.OK {
-			fmt.Printf("BROKEN  %-6s %s — ok flipped to false\n", c.ID, c.Title)
-			regressions++
-			continue
-		}
-		if time.Duration(b.ElapsedNS) < *minBase {
-			continue // below the noise floor
-		}
-		compared++
-		ratio := float64(c.ElapsedNS) / float64(b.ElapsedNS)
-		status := "ok"
-		if ratio > *maxRatio {
-			status = "REGRESS"
-			regressions++
-		}
-		fmt.Printf("%-7s %-6s %s: %v -> %v (%.2fx)\n", status, c.ID, c.Title,
-			time.Duration(b.ElapsedNS).Round(time.Millisecond),
-			time.Duration(c.ElapsedNS).Round(time.Millisecond), ratio)
-	}
-	for _, b := range base.Experiments {
-		if !seen[b.ID] {
-			fmt.Printf("gone    %-6s %s — in baseline but not in current run\n", b.ID, b.Title)
-		}
-	}
-
-	fmt.Printf("benchdiff: %d experiments compared (baseline floor %v), %d regression(s) at max-ratio %.2f\n",
-		compared, *minBase, regressions, *maxRatio)
-	if regressions > 0 {
+	opts := benchcmp.Options{MaxRatio: *maxRatio, MinBase: *minBase}
+	res := benchcmp.Compare(base, cur, opts)
+	res.Render(os.Stdout, opts)
+	if !res.OK() {
 		os.Exit(1)
 	}
 }

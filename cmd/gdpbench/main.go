@@ -14,13 +14,20 @@
 // tables, the overall verdict, and a snapshot of the runtime metrics
 // registry (solver timings, tier hit counters) — the seed format of the
 // BENCH_*.json benchmark trajectory.
+//
+// SIGINT/SIGTERM cancel the run: in-flight verifications stop, the
+// remaining experiments finish fast with interrupted reports, and the
+// partial output — marked "interrupted" under -json — is still flushed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gdpn/internal/experiments"
 	"gdpn/internal/obs"
@@ -31,6 +38,7 @@ type jsonReport struct {
 	OK          bool                 `json:"ok"`
 	Quick       bool                 `json:"quick"`
 	Seed        int64                `json:"seed"`
+	Interrupted bool                 `json:"interrupted,omitempty"`
 	Experiments []*experiments.Table `json:"experiments"`
 	Metrics     obs.Snapshot         `json:"metrics"`
 }
@@ -43,6 +51,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		symm    = flag.Bool("symmetry", false, "orbit-reduced exhaustive verification inside every experiment")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (tables + metrics) on stdout")
+		raceEng = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets in every verification")
 	)
 	flag.Parse()
 
@@ -52,7 +61,13 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Symmetry: *symm}
+
+	// SIGINT/SIGTERM cancel in-flight verifications; partial output flushes.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Symmetry: *symm,
+		Race: *raceEng, Context: ctx}
 	if *jsonOut {
 		// Collect runtime metrics (solver wall time, tier hit rates) along
 		// with the tables.
@@ -72,6 +87,7 @@ func main() {
 			tables, ok = experiments.CollectAll(cfg)
 		}
 		rep := jsonReport{OK: ok, Quick: *quick, Seed: *seed,
+			Interrupted: ctx.Err() != nil,
 			Experiments: tables, Metrics: obs.Default().Snapshot()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -16,7 +16,9 @@
 // ends with an invariant report — zero frames lost, zero duplicated,
 // every healthy processor in use after every remap. The exit status is
 // non-zero if any invariant failed; rerun a failing seed with the same
-// -seed to reproduce the exact fault sequence.
+// -seed to reproduce the exact fault sequence. SIGINT/SIGTERM end the
+// soak early: the stream drains cleanly and the report — marked
+// "interrupted" — is still printed (or emitted as JSON with -json).
 //
 // Usage:
 //
@@ -24,15 +26,20 @@
 //	gdpsim -n 1000 -k 6 -model terminals-first
 //	gdpsim -n 24 -k 4 -metrics-addr :9090 -epochs 50
 //	gdpsim -chaos -n 12 -k 3 -seed 1 -duration 30s
+//	gdpsim -chaos -n 12 -k 3 -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"gdpn/internal/chaos"
@@ -63,6 +70,7 @@ func main() {
 		burstProb = flag.Float64("burst-prob", 0.1, "chaos: probability a fault becomes a correlated burst (up to k faults)")
 		remapDL   = flag.Duration("remap-deadline", 0, "chaos: bound each remap; late solves roll back to the last valid pipeline (0 = unbounded)")
 		quiet     = flag.Bool("quiet", false, "chaos: suppress the per-event log, print only the final report")
+		jsonOut   = flag.Bool("json", false, "chaos: emit the soak report as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -95,6 +103,9 @@ func main() {
 		// The soak's own counters (chaos_faults_injected_total, the frame-loss
 		// gauge, remap downtime) are part of its contract: always observe.
 		reg.SetEnabled(true)
+		// SIGINT/SIGTERM end the soak early; the report still flushes.
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
 		cfg := chaos.Config{
 			Seed:          *seed,
 			Duration:      *duration,
@@ -103,20 +114,38 @@ func main() {
 			BurstProb:     *burstProb,
 			RemapDeadline: *remapDL,
 			FrameSamples:  *size,
+			Context:       ctx,
 		}
-		if !*quiet {
+		if !*quiet && !*jsonOut {
 			cfg.Logf = func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}
 		}
-		fmt.Println(sol.Graph.Summary())
-		fmt.Printf("chaos soak: seed=%d duration=%v mtbf=%v mttr=%v burst-prob=%.2f remap-deadline=%v\n",
-			*seed, *duration, *mtbf, *mttr, *burstProb, *remapDL)
+		if !*jsonOut {
+			fmt.Println(sol.Graph.Summary())
+			fmt.Printf("chaos soak: seed=%d duration=%v mtbf=%v mttr=%v burst-prob=%.2f remap-deadline=%v\n",
+				*seed, *duration, *mtbf, *mttr, *burstProb, *remapDL)
+		}
 		rep, err := chaos.Run(sol, nil, cfg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(rep.Summary())
+		if *jsonOut {
+			out := struct {
+				OK      bool          `json:"ok"`
+				Graph   string        `json:"graph"`
+				Seed    int64         `json:"seed"`
+				Report  *chaos.Report `json:"report"`
+				Metrics obs.Snapshot  `json:"metrics"`
+			}{rep.OK(), sol.Graph.Name(), *seed, rep, reg.Snapshot()}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(rep.Summary())
+		}
 		if *addr != "" {
 			fmt.Fprintln(os.Stderr, summaryLine(reg))
 		}

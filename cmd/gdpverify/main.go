@@ -11,13 +11,22 @@
 //	gdpverify -n 10 -k 2 -replay g.certs  # re-check witnesses (no solver trust)
 //	gdpverify -n 22 -k 4 -symmetry        # orbit-reduced exhaustive proof
 //	gdpverify -n 22 -k 4 -json            # machine-readable report + metrics
+//	gdpverify -n 22 -k 4 -race-engines    # race DP vs backtracker on hard sets
+//	gdpverify -n 22 -k 4 -fail-fast       # stop at the first counterexample
+//
+// SIGINT/SIGTERM cancel the run: workers stop mid-sweep (abandoning any
+// in-flight solve) and the partial report — marked "interrupted" — is
+// still printed, or flushed as JSON under -json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
@@ -27,22 +36,28 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 10, "minimum pipeline processors")
-		k       = flag.Int("k", 2, "fault tolerance")
-		trials  = flag.Int("trials", 0, "random trials (0 = exhaustive)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		merge   = flag.Bool("merge", false, "verify the merged model (processor faults only)")
-		work    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		certify = flag.String("certify", "", "write a certificate file (one witness per fault set)")
-		replay  = flag.String("replay", "", "replay a certificate file instead of searching")
-		symm    = flag.Bool("symmetry", false, "exhaustive mode: solve one representative per automorphism orbit of fault sets")
-		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (report + metrics) on stdout")
+		n        = flag.Int("n", 10, "minimum pipeline processors")
+		k        = flag.Int("k", 2, "fault tolerance")
+		trials   = flag.Int("trials", 0, "random trials (0 = exhaustive)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		merge    = flag.Bool("merge", false, "verify the merged model (processor faults only)")
+		work     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		certify  = flag.String("certify", "", "write a certificate file (one witness per fault set)")
+		replay   = flag.String("replay", "", "replay a certificate file instead of searching")
+		symm     = flag.Bool("symmetry", false, "exhaustive mode: solve one representative per automorphism orbit of fault sets")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON blob (report + metrics) on stdout")
+		raceEng  = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets (verdict-identical, often faster)")
+		failFast = flag.Bool("fail-fast", false, "exhaustive mode: stop the sweep at the first counterexample")
 	)
 	flag.Parse()
 	if *certify != "" || *replay != "" {
 		certMode(*n, *k, *certify, *replay)
 		return
 	}
+
+	// SIGINT/SIGTERM cancel the sweep; the partial report still flushes.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	if *jsonOut {
 		// Collect solver metrics (embed_find_ns, tier counters) for the blob.
@@ -54,11 +69,17 @@ func main() {
 		os.Exit(1)
 	}
 	g := sol.Graph
-	opts := verify.Options{Workers: *work, Solver: embed.Options{Layout: sol.Layout}, ExploitSymmetry: *symm}
+	opts := verify.Options{
+		Workers:         *work,
+		Solver:          embed.Options{Layout: sol.Layout, Race: *raceEng},
+		ExploitSymmetry: *symm,
+		Context:         ctx,
+		FailFast:        *failFast,
+	}
 	if *merge {
 		g = construct.Merge(g)
 		opts.Universe = verify.ProcessorsOnly
-		opts.Solver = embed.Options{}
+		opts.Solver = embed.Options{Race: *raceEng}
 	}
 	if !*jsonOut {
 		fmt.Println(g.Summary())

@@ -1,0 +1,177 @@
+// Package benchcmp compares two gdpbench -json snapshots and classifies
+// each experiment's timing drift, the logic behind the cmd/benchdiff CI
+// gate. An experiment regresses when its elapsed time grows by more than
+// Options.MaxRatio over the baseline (only baselines above Options.MinBase
+// are compared — sub-threshold runs are all noise), or when its ok flag
+// flips to false. Experiments present on only one side are reported but
+// never fatal, so adding or retiring a benchmark does not break the gate.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Experiment is one row of a gdpbench -json snapshot.
+type Experiment struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	OK        bool   `json:"ok"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// Snapshot is the subset of the gdpbench -json schema the gate reads.
+type Snapshot struct {
+	OK          bool         `json:"ok"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Parse decodes a snapshot and rejects empty ones (an empty experiment
+// list means the producing run crashed, not that everything got faster).
+func Parse(data []byte, name string) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(s.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments in snapshot", name)
+	}
+	return &s, nil
+}
+
+// Load reads and parses a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data, path)
+}
+
+// Options tune the gate.
+type Options struct {
+	// MaxRatio fails an experiment when current/baseline elapsed exceeds
+	// it. A ratio exactly at MaxRatio passes.
+	MaxRatio float64
+	// MinBase is the noise floor: experiments whose baseline elapsed is
+	// below it are not timing-compared (ok-flips still count).
+	MinBase time.Duration
+}
+
+// Verdict classifies one experiment's drift.
+type Verdict string
+
+const (
+	// VerdictOK: timing within MaxRatio.
+	VerdictOK Verdict = "ok"
+	// VerdictRegressed: current/baseline elapsed exceeded MaxRatio.
+	VerdictRegressed Verdict = "REGRESS"
+	// VerdictBroken: the ok flag flipped to false. Always fatal, even
+	// below the noise floor — correctness is never noise.
+	VerdictBroken Verdict = "BROKEN"
+	// VerdictNew: present only in the current run. Not fatal.
+	VerdictNew Verdict = "new"
+	// VerdictGone: present only in the baseline. Not fatal.
+	VerdictGone Verdict = "gone"
+	// VerdictSkipped: baseline below the noise floor, not compared.
+	VerdictSkipped Verdict = "skip"
+)
+
+// Fatal reports whether the verdict fails the gate.
+func (v Verdict) Fatal() bool { return v == VerdictRegressed || v == VerdictBroken }
+
+// Row is one experiment's comparison outcome.
+type Row struct {
+	ID      string
+	Title   string
+	Verdict Verdict
+	// Base and Cur are the elapsed times on each side (zero for the
+	// missing side of new/gone rows).
+	Base, Cur time.Duration
+	// Ratio is Cur/Base for timing-compared rows, 0 otherwise.
+	Ratio float64
+}
+
+// Result is a full snapshot comparison.
+type Result struct {
+	Rows []Row
+	// Compared counts rows that went through the timing check.
+	Compared int
+	// Regressions counts fatal rows (REGRESS + BROKEN).
+	Regressions int
+}
+
+// OK reports whether the gate passes.
+func (r *Result) OK() bool { return r.Regressions == 0 }
+
+// Compare classifies every experiment of both snapshots. Rows follow the
+// current snapshot's order; baseline-only rows trail in baseline order.
+func Compare(base, cur *Snapshot, opts Options) *Result {
+	baseByID := make(map[string]Experiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseByID[e.ID] = e
+	}
+	res := &Result{}
+	seen := make(map[string]bool, len(cur.Experiments))
+	for _, c := range cur.Experiments {
+		seen[c.ID] = true
+		row := Row{ID: c.ID, Title: c.Title, Cur: time.Duration(c.ElapsedNS)}
+		b, ok := baseByID[c.ID]
+		if !ok {
+			row.Verdict = VerdictNew
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		row.Base = time.Duration(b.ElapsedNS)
+		switch {
+		case b.OK && !c.OK:
+			row.Verdict = VerdictBroken
+			res.Regressions++
+		case row.Base < opts.MinBase:
+			row.Verdict = VerdictSkipped
+		default:
+			res.Compared++
+			row.Ratio = float64(c.ElapsedNS) / float64(b.ElapsedNS)
+			row.Verdict = VerdictOK
+			if row.Ratio > opts.MaxRatio {
+				row.Verdict = VerdictRegressed
+				res.Regressions++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, b := range base.Experiments {
+		if !seen[b.ID] {
+			res.Rows = append(res.Rows, Row{ID: b.ID, Title: b.Title,
+				Verdict: VerdictGone, Base: time.Duration(b.ElapsedNS)})
+		}
+	}
+	return res
+}
+
+// Render writes the comparison in benchdiff's one-line-per-experiment
+// text format, ending with the summary line. Skipped rows are omitted.
+func (r *Result) Render(w io.Writer, opts Options) {
+	for _, row := range r.Rows {
+		switch row.Verdict {
+		case VerdictSkipped:
+		case VerdictNew:
+			fmt.Fprintf(w, "new     %-6s %s (%v) — not in baseline, skipped\n",
+				row.ID, row.Title, row.Cur.Round(time.Millisecond))
+		case VerdictGone:
+			fmt.Fprintf(w, "gone    %-6s %s — in baseline but not in current run\n",
+				row.ID, row.Title)
+		case VerdictBroken:
+			fmt.Fprintf(w, "BROKEN  %-6s %s — ok flipped to false\n", row.ID, row.Title)
+		default:
+			fmt.Fprintf(w, "%-7s %-6s %s: %v -> %v (%.2fx)\n", string(row.Verdict),
+				row.ID, row.Title, row.Base.Round(time.Millisecond),
+				row.Cur.Round(time.Millisecond), row.Ratio)
+		}
+	}
+	fmt.Fprintf(w, "benchdiff: %d experiments compared (baseline floor %v), %d regression(s) at max-ratio %.2f\n",
+		r.Compared, opts.MinBase, r.Regressions, opts.MaxRatio)
+}

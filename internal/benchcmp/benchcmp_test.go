@@ -1,0 +1,143 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func snap(exps ...Experiment) *Snapshot { return &Snapshot{OK: true, Experiments: exps} }
+
+func exp(id string, ok bool, elapsed time.Duration) Experiment {
+	return Experiment{ID: id, Title: id + " title", OK: ok, ElapsedNS: int64(elapsed)}
+}
+
+var opts = Options{MaxRatio: 1.25, MinBase: 100 * time.Millisecond}
+
+func verdictOf(t *testing.T, res *Result, id string) Row {
+	t.Helper()
+	for _, row := range res.Rows {
+		if row.ID == id {
+			return row
+		}
+	}
+	t.Fatalf("no row for %s in %+v", id, res.Rows)
+	return Row{}
+}
+
+func TestRatioExactlyAtMaxPasses(t *testing.T) {
+	base := snap(exp("F1", true, 200*time.Millisecond))
+	cur := snap(exp("F1", true, 250*time.Millisecond)) // exactly 1.25x
+	res := Compare(base, cur, opts)
+	if row := verdictOf(t, res, "F1"); row.Verdict != VerdictOK {
+		t.Fatalf("ratio exactly at max-ratio = %s, want ok (gate is strict-greater)", row.Verdict)
+	}
+	if !res.OK() {
+		t.Fatal("gate failed on a boundary ratio")
+	}
+}
+
+func TestRatioJustOverMaxRegresses(t *testing.T) {
+	base := snap(exp("F1", true, 200*time.Millisecond))
+	cur := snap(exp("F1", true, 251*time.Millisecond))
+	res := Compare(base, cur, opts)
+	if row := verdictOf(t, res, "F1"); row.Verdict != VerdictRegressed {
+		t.Fatalf("1.255x = %s, want REGRESS", row.Verdict)
+	}
+	if res.OK() || res.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1", res.Regressions)
+	}
+}
+
+func TestOKFlipIsBrokenEvenBelowNoiseFloor(t *testing.T) {
+	base := snap(exp("T1", true, 5*time.Millisecond)) // below MinBase
+	cur := snap(exp("T1", false, 4*time.Millisecond))
+	res := Compare(base, cur, opts)
+	if row := verdictOf(t, res, "T1"); row.Verdict != VerdictBroken {
+		t.Fatalf("ok-flip below floor = %s, want BROKEN", row.Verdict)
+	}
+	if res.OK() {
+		t.Fatal("correctness flip did not fail the gate")
+	}
+}
+
+func TestBelowNoiseFloorSkipsTimingCheck(t *testing.T) {
+	base := snap(exp("F2", true, 10*time.Millisecond))
+	cur := snap(exp("F2", true, 90*time.Millisecond)) // 9x, but base is noise
+	res := Compare(base, cur, opts)
+	if row := verdictOf(t, res, "F2"); row.Verdict != VerdictSkipped {
+		t.Fatalf("sub-floor baseline = %s, want skip", row.Verdict)
+	}
+	if res.Compared != 0 || !res.OK() {
+		t.Fatalf("Compared = %d, OK = %v; noise floor not honored", res.Compared, res.OK())
+	}
+}
+
+func TestNewAndGoneAreNotFatal(t *testing.T) {
+	base := snap(exp("OLD", true, 300*time.Millisecond))
+	cur := snap(exp("NEW", true, 900*time.Millisecond))
+	res := Compare(base, cur, opts)
+	if row := verdictOf(t, res, "NEW"); row.Verdict != VerdictNew {
+		t.Fatalf("current-only = %s, want new", row.Verdict)
+	}
+	if row := verdictOf(t, res, "OLD"); row.Verdict != VerdictGone {
+		t.Fatalf("baseline-only = %s, want gone", row.Verdict)
+	}
+	if !res.OK() || res.Compared != 0 {
+		t.Fatalf("adding/retiring a benchmark broke the gate: %+v", res)
+	}
+}
+
+func TestRowOrderFollowsCurrentThenGone(t *testing.T) {
+	base := snap(exp("A", true, 200*time.Millisecond), exp("Z", true, 200*time.Millisecond))
+	cur := snap(exp("B", true, 200*time.Millisecond), exp("A", true, 200*time.Millisecond))
+	res := Compare(base, cur, opts)
+	got := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		got[i] = row.ID
+	}
+	want := "B A Z"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("row order = %v, want %s", got, want)
+	}
+}
+
+func TestParseRejectsEmptySnapshot(t *testing.T) {
+	if _, err := Parse([]byte(`{"ok":true,"experiments":[]}`), "empty.json"); err == nil {
+		t.Fatal("empty snapshot accepted (a crashed producer would pass the gate)")
+	}
+	if _, err := Parse([]byte(`not json`), "bad.json"); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	base := snap(
+		exp("F1", true, 200*time.Millisecond),
+		exp("F3", true, 200*time.Millisecond),
+		exp("GONE", true, 1*time.Second),
+	)
+	cur := snap(
+		exp("F1", true, 400*time.Millisecond),
+		exp("F3", false, 100*time.Millisecond),
+		exp("NEW", true, 50*time.Millisecond),
+	)
+	res := Compare(base, cur, opts)
+	var b strings.Builder
+	res.Render(&b, opts)
+	out := b.String()
+	for _, want := range []string{
+		"REGRESS F1",
+		"(2.00x)",
+		"BROKEN  F3",
+		"ok flipped to false",
+		"new     NEW",
+		"gone    GONE",
+		"1 experiments compared",
+		"2 regression(s) at max-ratio 1.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

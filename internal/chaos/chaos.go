@@ -17,6 +17,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"gdpn/internal/construct"
+	"gdpn/internal/embed"
 	"gdpn/internal/faults"
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
@@ -61,6 +63,11 @@ type Config struct {
 	// RemapDeadline bounds each remap; a solve that misses it rolls back
 	// to the last valid pipeline and the fault is retried later. 0 = off.
 	RemapDeadline time.Duration
+	// Context cancels the soak early: event sleeps wake immediately, an
+	// in-flight remap solve is abandoned (and rolled back), and Run drains
+	// the stream and returns a partial Report with Interrupted set. nil
+	// means the soak always runs to Duration.
+	Context context.Context
 	// Logf, when non-nil, narrates events live (fault/repair/rollback).
 	Logf func(format string, args ...any)
 }
@@ -69,26 +76,33 @@ type Config struct {
 type Report struct {
 	// Stream is the zero-loss ledger (lost/duplicated/out-of-order must be
 	// zero, delivered must equal submitted).
-	Stream pipeline.StreamReport
+	Stream pipeline.StreamReport `json:"stream"`
 	// Downtime is the reconfiguration manager's per-tactic ledger.
-	Downtime reconfig.DowntimeStats
+	Downtime reconfig.DowntimeStats `json:"downtime"`
 	// Elapsed is the achieved wall-clock run length.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// FaultsInjected / RepairsApplied count applied schedule events;
 	// Bursts counts multi-fault batches.
-	FaultsInjected, RepairsApplied, Bursts int
+	FaultsInjected int `json:"faults_injected"`
+	RepairsApplied int `json:"repairs_applied"`
+	Bursts         int `json:"bursts"`
 	// DeadlineRollbacks counts remaps rolled back for missing the deadline
 	// (retried later by the schedule); OtherFailures counts unexpected
 	// apply errors — any of those is also recorded as a violation.
-	DeadlineRollbacks, OtherFailures int
+	DeadlineRollbacks int `json:"deadline_rollbacks"`
+	OtherFailures     int `json:"other_failures"`
 	// Checks counts post-remap invariant checks; Violations records the
 	// failures (capped at maxRecordedViolations, then counted).
-	Checks          int
-	Violations      []string
-	TotalViolations int
+	Checks          int      `json:"checks"`
+	Violations      []string `json:"violations,omitempty"`
+	TotalViolations int      `json:"total_violations"`
 	// FinalFaults / FinalProcsInUse snapshot the end state.
-	FinalFaults     []int
-	FinalProcsInUse int
+	FinalFaults     []int `json:"final_faults"`
+	FinalProcsInUse int   `json:"final_procs_in_use"`
+	// Interrupted reports that Config.Context canceled the soak before
+	// Duration elapsed; the invariants above cover the partial run, which
+	// is still a meaningful audit (every delivered frame was checked).
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 func (r *Report) violate(format string, args ...any) {
@@ -188,6 +202,30 @@ func Run(sol *construct.Solution, stgs []stages.Stage, cfg Config) (*Report, err
 	if cfg.RemapDeadline > 0 {
 		eng.SetRemapDeadline(cfg.RemapDeadline)
 	}
+	// Cancellation: the token aborts in-flight remap solves, the context's
+	// channel wakes event sleeps. Both latch from the same Config.Context.
+	tok := embed.NewResources(cfg.Context, 0, 0)
+	defer tok.Release()
+	eng.SetRemapResources(tok)
+	var ctxDone <-chan struct{}
+	if cfg.Context != nil {
+		ctxDone = cfg.Context.Done()
+	}
+	// sleep waits d (which may be ≤ 0) or until cancellation; false means
+	// the soak was interrupted.
+	sleep := func(d time.Duration) bool {
+		if d <= 0 {
+			return !tok.Stopped()
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-ctxDone:
+			return false
+		}
+	}
 	sch, err := faults.NewSchedule(sol.Graph, faults.ScheduleConfig{
 		MTBF:         cfg.MTBF,
 		MTTR:         cfg.MTTR,
@@ -242,14 +280,20 @@ func Run(sol *construct.Solution, stgs []stages.Stage, cfg Config) (*Report, err
 	g := sol.Graph
 	start := time.Now()
 	end := start.Add(cfg.Duration)
+eventLoop:
 	for {
 		evs := sch.Next()
 		at := start.Add(evs[0].At)
 		if at.After(end) {
-			time.Sleep(time.Until(end))
+			if !sleep(time.Until(end)) {
+				rep.Interrupted = true
+			}
 			break
 		}
-		time.Sleep(time.Until(at))
+		if !sleep(time.Until(at)) {
+			rep.Interrupted = true
+			break
+		}
 		if len(evs) > 1 {
 			rep.Bursts++
 		}
@@ -269,6 +313,13 @@ func Run(sol *construct.Solution, stgs []stages.Stage, cfg Config) (*Report, err
 					injected.Inc()
 				}
 				logf("chaos: %s procs-in-use=%d", ev, eng.ProcessorsInUse())
+			case errors.Is(err, embed.ErrCanceled):
+				// External cancellation aborted the remap mid-solve; the
+				// event rolled back cleanly. Not a violation — end the soak.
+				rep.Interrupted = true
+				sch.Deny(ev)
+				logf("chaos: %s ROLLED BACK (canceled): %v", ev, err)
+				break eventLoop
 			case errors.Is(err, reconfig.ErrDeadline):
 				rep.DeadlineRollbacks++
 				sch.Deny(ev)

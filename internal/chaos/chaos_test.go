@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -83,5 +84,39 @@ func TestSoakSeedReplay(t *testing.T) {
 	}
 	if diff > 2 {
 		t.Fatalf("seed replay diverged: %d vs %d faults", a.FaultsInjected, b.FaultsInjected)
+	}
+}
+
+// TestSoakContextCancelFlushesCleanly: canceling the soak's context ends
+// the run early with Interrupted set, and the shutdown still drains the
+// stream — every submitted frame is delivered, nothing lost.
+func TestSoakContextCancelFlushesCleanly(t *testing.T) {
+	sol, err := construct.Design(12, 3)
+	if err != nil {
+		t.Fatalf("Design(12,3): %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep, err := Run(sol, nil, Config{
+		Seed:     1,
+		Duration: time.Hour, // would run forever without the cancel
+		MTBF:     60 * time.Millisecond,
+		MTTR:     30 * time.Millisecond,
+		Context:  ctx,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("canceled soak not marked interrupted")
+	}
+	if rep.Elapsed >= time.Hour {
+		t.Fatalf("soak ran to full duration despite cancel: %v", rep.Elapsed)
+	}
+	if rep.TotalViolations != 0 {
+		t.Fatalf("cancellation produced violations:\n%s", rep.Summary())
+	}
+	if !rep.Stream.Clean() {
+		t.Fatalf("interrupted shutdown lost frames: %+v", rep.Stream)
 	}
 }

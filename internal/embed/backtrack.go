@@ -2,7 +2,6 @@ package embed
 
 import (
 	"sort"
-	"time"
 )
 
 // backtracker is the pruned-DFS Hamiltonian path engine. It works on local
@@ -23,7 +22,7 @@ type backtracker struct {
 	budget     int64
 	expansions int64
 	exhausted  bool
-	deadline   time.Time // zero = no wall-clock bound
+	res        *Resources // nil = no external stop; checked per expansion
 
 	// connectivity scratch
 	seen  []bool
@@ -35,8 +34,10 @@ type backtracker struct {
 }
 
 // findBacktrack runs the DFS engine. A Found=false, Unknown=false result is
-// a completed exhaustive search, i.e. a proof that no pipeline exists.
-func (s *Solver) findBacktrack(e endpoints, budget int64) Result {
+// a completed exhaustive search, i.e. a proof that no pipeline exists. res
+// is the stop token for this call (may be nil); the engine checks it with
+// one atomic load per expansion and charges it in 1024-expansion batches.
+func (s *Solver) findBacktrack(e endpoints, budget int64, res *Resources) Result {
 	np := len(e.healthyProcs)
 	bt := s.bt
 	if bt == nil || cap(bt.adj) < np {
@@ -61,7 +62,7 @@ func (s *Solver) findBacktrack(e endpoints, budget int64) Result {
 	bt.budget = budget
 	bt.expansions = 0
 	bt.exhausted = false
-	bt.deadline = s.deadline
+	bt.res = res
 	bt.zeroCount = 0
 	bt.oneCount = 0
 	bt.endRemaining = 0
@@ -186,11 +187,18 @@ func (bt *backtracker) dfs(u, left int) bool {
 		bt.exhausted = true
 		return false
 	}
-	// Wall-clock deadline, polled every 1024 expansions (and on the first)
-	// so the per-expansion cost stays negligible.
-	if bt.expansions&1023 == 0 && !bt.deadline.IsZero() && time.Now().After(bt.deadline) {
-		bt.exhausted = true
-		return false
+	// External stop (cancel/deadline/shared budget): one atomic load per
+	// expansion — deadlines are armed as timers on the token, so the hot
+	// loop never reads the clock. Shared-budget charges are batched.
+	if bt.res != nil {
+		if bt.res.Stopped() {
+			bt.exhausted = true
+			return false
+		}
+		if bt.expansions&1023 == 1023 && !bt.res.Charge(1024) {
+			bt.exhausted = true
+			return false
+		}
 	}
 	bt.budget--
 	bt.expansions++

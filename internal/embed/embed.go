@@ -81,12 +81,25 @@ type Options struct {
 	// engine; 0 means DefaultBudget. When the budget is exhausted the
 	// result is Unknown = true rather than Found = false.
 	Budget int64
-	// Deadline bounds the wall-clock time of each Find/FindDelta call; the
-	// search engines (backtracking and the exact DP) poll the clock every
-	// ~1k expansions and report Unknown when it expires. 0 means no
-	// deadline. The O(n) planner and structured tiers are not bounded —
-	// they finish far below any useful deadline.
+	// Deadline bounds the wall-clock time of each Find/FindDelta call.
+	// Compatibility shim: it is implemented as a per-call Resources scope
+	// (a timer latches the stop flag; the engines never read the clock),
+	// preserving the old polling semantics. 0 means no deadline. The O(n)
+	// planner and structured tiers are not bounded — they finish far below
+	// any useful deadline.
 	Deadline time.Duration
+	// Res is the ambient cancellation/budget token shared by every Find /
+	// FindDelta call of this solver: cancel it and the search engines
+	// return Unknown at their next expansion. nil = never stops. Per-call
+	// Deadline scopes (if any) are created as children of this token.
+	Res *Resources
+	// Race upgrades Auto for hard instances: when the planner/structured
+	// tiers miss and the instance fits the exact DP, the backtracker and
+	// the Held–Karp DP run concurrently under sibling Resources tokens and
+	// the first definitive answer (found, or exhaustive not-found) cancels
+	// the loser. Verdicts are identical to the staged ladder; only the
+	// wall-clock path to them changes.
+	Race bool
 }
 
 // DefaultBudget is the backtracking node-expansion budget used when
@@ -114,26 +127,50 @@ type Result struct {
 
 // TierStats counts which engine tier resolved each Find call — the
 // portfolio's division of labour, reported by the P1/P3 ablation
-// experiments. Tiers are mutually exclusive per call.
+// experiments. Tiers are mutually exclusive per call. Under the racing
+// Auto portfolio the winner of each race is attributed to its tier (DP or
+// Full); the embed_race_won_total counters record that it won by racing.
 type TierStats struct {
 	// Planner counts calls solved by the constructive asymptotic planner.
-	Planner int64
+	Planner int64 `json:"planner"`
 	// Compressed counts calls solved by the run-compression search.
-	Compressed int64
+	Compressed int64 `json:"compressed"`
 	// Probe counts calls resolved by the cheap first-pass backtracking.
-	Probe int64
+	Probe int64 `json:"probe"`
 	// DP counts calls resolved by the exact Held–Karp engine.
-	DP int64
+	DP int64 `json:"dp"`
 	// Full counts calls that needed the full-budget backtracking pass.
-	Full int64
+	Full int64 `json:"full"`
 	// Trivial counts calls resolved before any engine ran (no healthy
 	// terminals, single processor, …).
-	Trivial int64
+	Trivial int64 `json:"trivial"`
 }
 
 // Total returns the number of Find calls accounted for.
 func (t TierStats) Total() int64 {
 	return t.Planner + t.Compressed + t.Probe + t.DP + t.Full + t.Trivial
+}
+
+// Add accumulates other into t (merging per-worker solver stats).
+func (t *TierStats) Add(other TierStats) {
+	t.Planner += other.Planner
+	t.Compressed += other.Compressed
+	t.Probe += other.Probe
+	t.DP += other.DP
+	t.Full += other.Full
+	t.Trivial += other.Trivial
+}
+
+// Publish exports the stats as embed_tier_stats{tier=...} gauges on reg —
+// the division-of-labour view at /metrics. Gauges accumulate across
+// Publish calls (a verification run publishes its workers' totals once at
+// the end).
+func (t TierStats) Publish(reg *obs.Registry) {
+	for i, v := range tierDeltas(t) {
+		if v != 0 {
+			reg.Gauge("embed_tier_stats", obs.L("tier", tierNames[i])).Add(v)
+		}
+	}
 }
 
 // Solver finds pipelines in a fixed graph under varying fault sets. It
@@ -159,9 +196,9 @@ type Solver struct {
 	warmStart, warmEnd   bitset.Set
 	warmHits, warmMisses int64
 
-	// deadline is the absolute expiry of the current Find call (zero when
-	// Options.Deadline is unset), sampled once per call.
-	deadline time.Time
+	// run is the token governing the current Find call: Options.Res, or a
+	// per-call child of it when Options.Deadline is set.
+	run *Resources
 
 	reg        *obs.Registry
 	findTime   *obs.Histogram  // wall time per Find call
@@ -169,6 +206,8 @@ type Solver struct {
 	tiers      [6]*obs.Counter // per-tier resolutions, same order as tierDeltas
 	warmHit    *obs.Counter
 	warmMiss   *obs.Counter
+	cancels    *obs.Counter    // calls abandoned because the token stopped
+	raceWon    [2]*obs.Counter // racing Auto wins, [0]=dp [1]=backtrack
 }
 
 // NewSolver returns a Solver for g.
@@ -195,6 +234,9 @@ func NewSolver(g *graph.Graph, opts Options) *Solver {
 	}
 	s.warmHit = s.reg.Counter("embed_warm_total", obs.L("result", "hit"))
 	s.warmMiss = s.reg.Counter("embed_warm_total", obs.L("result", "miss"))
+	s.cancels = s.reg.Counter("embed_cancel_total")
+	s.raceWon[0] = s.reg.Counter("embed_race_won_total", obs.L("engine", "dp"))
+	s.raceWon[1] = s.reg.Counter("embed_race_won_total", obs.L("engine", "backtrack"))
 	return s
 }
 
@@ -237,7 +279,15 @@ func (s *Solver) Warm() (hits, misses int64) { return s.warmHits, s.warmMisses }
 
 // SetDeadline changes the per-call wall-clock bound for subsequent Find /
 // FindDelta calls (see Options.Deadline). 0 disables the bound.
+// Compatibility shim over the Resources token.
 func (s *Solver) SetDeadline(d time.Duration) { s.opts.Deadline = d }
+
+// SetResources replaces the ambient cancellation/budget token for
+// subsequent Find / FindDelta calls (see Options.Res). nil detaches.
+func (s *Solver) SetResources(r *Resources) { s.opts.Res = r }
+
+// Resources returns the ambient token (nil when unset).
+func (s *Solver) Resources() *Resources { return s.opts.Res }
 
 func (s *Solver) timed(faults bitset.Set, removed, added []int, delta bool) Result {
 	if s.reg.Enabled() {
@@ -257,10 +307,14 @@ func (s *Solver) timed(faults bitset.Set, removed, added []int, delta bool) Resu
 }
 
 func (s *Solver) find(faults bitset.Set, removed, added []int, delta bool) Result {
+	s.run = s.opts.Res
 	if s.opts.Deadline > 0 {
-		s.deadline = time.Now().Add(s.opts.Deadline)
-	} else {
-		s.deadline = time.Time{}
+		// Per-call deadline scope: a child token whose timer latches the
+		// stop flag, so the engines check one atomic load instead of
+		// polling the clock.
+		scope := Scoped(s.opts.Res, s.opts.Deadline)
+		defer scope.Release()
+		s.run = scope
 	}
 	var ends endpoints
 	var ok bool
@@ -303,11 +357,22 @@ func (s *Solver) find(faults bitset.Set, removed, added []int, delta bool) Resul
 		return Result{Found: false}
 	}
 
+	res := s.dispatch(faults, ends)
+	if res.Unknown && stopped(s.run) {
+		// The call was abandoned by the token (cancel, deadline, or
+		// budget), not by a genuine search-space exhaustion.
+		s.cancels.Inc()
+	}
+	return res
+}
+
+// dispatch routes one prepared call to the selected engine.
+func (s *Solver) dispatch(faults bitset.Set, ends endpoints) Result {
 	switch s.opts.Method {
 	case DP:
-		return s.findDP(ends)
+		return s.findDP(ends, s.run)
 	case Backtracking:
-		return s.findBacktrack(ends, s.opts.Budget)
+		return s.findBacktrack(ends, s.opts.Budget, s.run)
 	case Structured:
 		res := s.findStructured(faults, ends)
 		if res.Found || !res.Unknown {
@@ -343,13 +408,13 @@ func (s *Solver) portfolio(faults bitset.Set, e endpoints) Result {
 	np := len(e.healthyProcs)
 	if np <= 18 {
 		s.stats.DP++
-		return s.findDP(e)
+		return s.findDP(e, s.run)
 	}
 	pb := int64(probeBudget)
 	if s.opts.Budget < pb {
 		pb = s.opts.Budget
 	}
-	res := s.findBacktrack(e, pb)
+	res := s.findBacktrack(e, pb, s.run)
 	if !res.Unknown {
 		s.stats.Probe++
 		return res
@@ -360,12 +425,18 @@ func (s *Solver) portfolio(faults bitset.Set, e endpoints) Result {
 			return cr
 		}
 	}
+	// Hard instance: every cheap tier has missed. With racing enabled and
+	// the DP applicable, run both complete engines concurrently under
+	// sibling tokens — first definitive answer wins, loser is canceled.
+	if s.opts.Race && np <= MaxDPProcessors {
+		return s.race(e)
+	}
 	if np <= MaxDPProcessors {
 		s.stats.DP++
-		return s.findDP(e)
+		return s.findDP(e, s.run)
 	}
 	s.stats.Full++
-	return s.findBacktrack(e, s.opts.Budget)
+	return s.findBacktrack(e, s.opts.Budget, s.run)
 }
 
 // FindPipeline is the convenience form: it builds a throwaway solver with

@@ -2,7 +2,6 @@ package embed
 
 import (
 	"math/bits"
-	"time"
 )
 
 // findDP decides pipeline existence exactly with a Held–Karp dynamic
@@ -13,12 +12,21 @@ import (
 //
 // Instances with more than MaxDPProcessors healthy processors are handed
 // to the (also complete, budget permitting) backtracking engine.
-func (s *Solver) findDP(e endpoints) Result {
+//
+// res is the stop token for this call (may be nil): checked with one
+// atomic load per mask row and charged in batches, never by reading the
+// clock.
+func (s *Solver) findDP(e endpoints, res *Resources) Result {
 	np := len(e.healthyProcs)
 	if np > MaxDPProcessors {
-		r := s.findBacktrack(e, s.opts.Budget)
+		r := s.findBacktrack(e, s.opts.Budget, res)
 		r.Method = DP
 		return r
+	}
+	// Entry check: small tables finish between batched in-loop checks, so an
+	// already-stopped token must be honored before any work happens.
+	if stopped(res) {
+		return Result{Unknown: true, Method: DP}
 	}
 
 	// Local adjacency bitmasks over healthy-processor indices.
@@ -58,10 +66,15 @@ func (s *Solver) findDP(e endpoints) Result {
 		}
 	}
 	full := uint32(size - 1)
+	var lastCharged int64
 	for mask := 1; mask < size; mask++ {
-		// Wall-clock deadline, polled every 1024 masks.
-		if mask&1023 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
-			return Result{Unknown: true, Method: DP, Expansions: expansions}
+		// External stop: one atomic load per 1024 masks; transition counts
+		// are charged to the token in the same batches.
+		if mask&1023 == 0 && res != nil {
+			if !res.Charge(expansions - lastCharged) {
+				return Result{Unknown: true, Method: DP, Expansions: expansions}
+			}
+			lastCharged = expansions
 		}
 		lasts := dp[mask]
 		if lasts == 0 {

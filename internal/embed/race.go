@@ -1,0 +1,70 @@
+package embed
+
+// The racing Auto portfolio: instead of staging the two complete engines
+// (exact Held–Karp DP, then full-budget backtracking), run them
+// concurrently under sibling Resources tokens and let the first
+// definitive answer — found, or exhaustive not-found — cancel the loser.
+// On hard instances near the degradability boundary the two engines'
+// costs differ by orders of magnitude in both directions (the DP's cost
+// is fixed at 2^np while the backtracker's depends on how early its
+// prunes fire), so racing is the minimum of the two rather than the sum.
+//
+// Verdicts are identical to the staged ladder by construction: both
+// engines are complete, and an Unknown (canceled) loser is discarded in
+// favor of the winner's definitive result. The A/B test in
+// internal/verify re-proves verdict equality per fault set.
+
+// racerResult pairs an engine's Result with which engine produced it.
+type racerResult struct {
+	res Result
+	dp  bool
+}
+
+// definitive reports whether r settles the instance: a pipeline was found
+// or the search space was exhausted. Unknown (budget/cancel) is not
+// definitive.
+func definitive(r Result) bool { return r.Found || !r.Unknown }
+
+// race runs the exact DP and the full-budget backtracker concurrently
+// under sibling tokens. Preconditions (enforced by the caller): the
+// instance fits the DP (np <= MaxDPProcessors), so the two engines touch
+// disjoint solver scratch (s.dpTable vs s.bt) and can share the Solver.
+// Both goroutines are always joined before returning — the scratch must
+// be quiescent before the next Find call reuses it.
+func (s *Solver) race(e endpoints) Result {
+	dpTok := Scoped(s.run, 0)
+	btTok := Scoped(s.run, 0)
+	defer dpTok.Release()
+	defer btTok.Release()
+
+	out := make(chan racerResult, 2)
+	go func() { out <- racerResult{res: s.findDP(e, dpTok), dp: true} }()
+	go func() { out <- racerResult{res: s.findBacktrack(e, s.opts.Budget, btTok)} }()
+
+	first := <-out
+	if definitive(first.res) {
+		// Cancel the loser; it returns Unknown at its next expansion.
+		dpTok.Cancel()
+		btTok.Cancel()
+	}
+	second := <-out
+
+	winner, loser := first, second
+	if !definitive(first.res) && definitive(second.res) {
+		winner, loser = second, first
+	}
+	res := winner.res
+	res.Expansions += loser.res.Expansions // total work spent on the call
+	if !definitive(winner.res) {
+		// Neither engine finished (parent canceled or budgets exhausted).
+		return res
+	}
+	if winner.dp {
+		s.stats.DP++
+		s.raceWon[0].Inc()
+	} else {
+		s.stats.Full++
+		s.raceWon[1].Inc()
+	}
+	return res
+}

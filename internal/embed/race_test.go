@@ -1,0 +1,53 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdpn/internal/bitset"
+	"gdpn/internal/construct"
+)
+
+// TestRaceDirectVerdicts drives the race() portfolio head-on, bypassing the
+// staged ladder's cheap tiers, on an instance sized inside the racing window
+// (Extend²(G3(5)) has 20 processors: > the direct-DP cutoff of 18, ≤
+// MaxDPProcessors). Every verdict must match the exact DP reference.
+func TestRaceDirectVerdicts(t *testing.T) {
+	g := construct.ExtendTimes(construct.G3(5), 2)
+	np := len(g.Processors())
+	if np <= 18 || np > MaxDPProcessors {
+		t.Fatalf("instance has %d processors; want inside the racing window (19..%d)", np, MaxDPProcessors)
+	}
+	s := NewSolver(g, Options{Race: true})
+	ref := NewSolver(g, Options{Method: DP})
+
+	rng := rand.New(rand.NewSource(7))
+	faults := bitset.New(g.NumNodes())
+	trials := 0
+	for trials < 60 {
+		faults.Clear()
+		nf := rng.Intn(6)
+		for i := 0; i < nf; i++ {
+			faults.Add(rng.Intn(g.NumNodes()))
+		}
+		e, ok := s.endpoints(faults)
+		if !ok {
+			continue // trivially infeasible; nothing to race
+		}
+		trials++
+		rr := s.race(e)
+		if rr.Unknown {
+			t.Fatalf("race returned Unknown on trial %d with default budgets", trials)
+		}
+		dr := ref.Find(faults)
+		if rr.Found != dr.Found {
+			t.Fatalf("race verdict %v disagrees with exact DP %v (trial %d)", rr.Found, dr.Found, trials)
+		}
+	}
+	// Both engines are complete, so every race has a winner; the tier stats
+	// must attribute each of the 60 races to exactly one of DP/Full.
+	st := s.Stats()
+	if st.DP+st.Full != int64(trials) {
+		t.Fatalf("race attribution: DP=%d Full=%d, want sum %d", st.DP, st.Full, trials)
+	}
+}

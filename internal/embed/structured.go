@@ -186,7 +186,7 @@ func (s *Solver) findCompressed(faults bitset.Set, e endpoints) Result {
 	if s.opts.Budget < innerBudget {
 		innerBudget = s.opts.Budget
 	}
-	sub := NewSolver(cg, Options{Method: Backtracking, Budget: innerBudget})
+	sub := NewSolver(cg, Options{Method: Backtracking, Budget: innerBudget, Res: s.run})
 	r := sub.Find(nil)
 	if !r.Found {
 		// Either genuinely infeasible or a compression blind spot; report

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -34,19 +35,31 @@ type Config struct {
 	// verdicts are identical (SYM re-proves this per family); the solver
 	// call counts drop by up to the automorphism group order.
 	Symmetry bool
+	// Race enables the racing Auto solver portfolio in every verification:
+	// on hard instances the exact DP and the backtracker run concurrently
+	// and the first definitive answer wins. Verdict-identical to the
+	// staged ladder (the TestRaceAB gate re-proves it).
+	Race bool
+	// Context cancels in-flight verifications (SIGINT → partial report).
+	Context context.Context
 }
 
 // VerifyOptions returns the verification options implied by the config.
 // Callers layer experiment-specific fields (Solver.Layout, Universe) on
 // top of the returned value.
 func (cfg Config) VerifyOptions() verify.Options {
-	return verify.Options{Workers: cfg.Workers, ExploitSymmetry: cfg.Symmetry}
+	return verify.Options{
+		Workers:         cfg.Workers,
+		ExploitSymmetry: cfg.Symmetry,
+		Context:         cfg.Context,
+		Solver:          embed.Options{Race: cfg.Race},
+	}
 }
 
 // layoutOpts is VerifyOptions with the structured-solver layout attached.
 func layoutOpts(cfg Config, lay *construct.Layout) verify.Options {
 	o := cfg.VerifyOptions()
-	o.Solver = embed.Options{Layout: lay}
+	o.Solver.Layout = lay
 	return o
 }
 

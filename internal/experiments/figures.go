@@ -183,7 +183,7 @@ func runAsymptoticFigure(cfg Config, id string, n, k int) *Table {
 	t.AddRow("ring size m / offsets p+1 / bisector", fmt.Sprintf("%d / %d / %v", lay.M, lay.P+1, lay.HasBisector))
 
 	opts := cfg.VerifyOptions()
-	opts.Solver = embed.Options{Layout: lay}
+	opts.Solver.Layout = lay
 	var rep *verify.Report
 	if cfg.Quick {
 		rep = verify.Random(g, k, 3000, cfg.Seed, opts)

@@ -92,7 +92,7 @@ func runT317(cfg Config) *Table {
 			continue
 		}
 		opts := cfg.VerifyOptions()
-		opts.Solver = embed.Options{Layout: lay}
+		opts.Solver.Layout = lay
 		var rep *verify.Report
 		mode := "random"
 		if in.exhaustive && !cfg.Quick {
@@ -201,7 +201,7 @@ func runT317Frontier(cfg Config) *Table {
 			continue
 		}
 		opts := cfg.VerifyOptions()
-		opts.Solver = embed.Options{Layout: lay}
+		opts.Solver.Layout = lay
 		var rep *verify.Report
 		mode := "exhaustive"
 		if cfg.Quick {

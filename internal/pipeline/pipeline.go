@@ -27,6 +27,7 @@ import (
 
 	"gdpn/internal/bitset"
 	"gdpn/internal/construct"
+	"gdpn/internal/embed"
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
 	"gdpn/internal/reconfig"
@@ -359,6 +360,12 @@ func (e *Engine) observeEpoch(frames []Frame, elapsed time.Duration) {
 // pipeline stays live and Inject/Repair report reconfig.ErrDeadline so the
 // caller can retry. 0 disables the bound.
 func (e *Engine) SetRemapDeadline(d time.Duration) { e.mgr.SetDeadline(d) }
+
+// SetRemapResources attaches an ambient cancellation/budget token to the
+// reconfiguration manager: canceling it aborts an in-flight remap solve
+// (the fault or repair rolls back, and the live pipeline keeps streaming
+// on the previous mapping). nil detaches.
+func (e *Engine) SetRemapResources(r *embed.Resources) { e.mgr.SetResources(r) }
 
 // Downtime returns the reconfiguration manager's per-tactic downtime
 // ledger (a copy).

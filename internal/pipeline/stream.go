@@ -55,24 +55,26 @@ type StreamConfig struct {
 // Submitted (after Close).
 type StreamReport struct {
 	// Submitted counts frames accepted by Submit.
-	Submitted int64
+	Submitted int64 `json:"submitted"`
 	// Delivered counts frames emitted on Out.
-	Delivered int64
+	Delivered int64 `json:"delivered"`
 	// Requeued counts in-flight frames handed back across remaps (a frame
 	// surviving several remaps counts once per requeue).
-	Requeued int64
+	Requeued int64 `json:"requeued"`
 	// Lost counts submitted frames that never reached the sink.
-	Lost int64
+	Lost int64 `json:"lost"`
 	// Duplicated counts sink arrivals with no matching submission.
-	Duplicated int64
+	Duplicated int64 `json:"duplicated"`
 	// OutOfOrder counts sink arrivals that did not strictly increase.
-	OutOfOrder int64
+	OutOfOrder int64 `json:"out_of_order"`
 	// Remaps counts successful live reconfigurations; RemapFailures the
 	// rejected ones (deadline rollbacks, beyond-budget fault sets).
-	Remaps, RemapFailures int64
+	Remaps        int64 `json:"remaps"`
+	RemapFailures int64 `json:"remap_failures"`
 	// TotalDowntime/MaxDowntime measure the stall windows: drain → remap →
 	// chain rebuilt, during which no frame makes progress.
-	TotalDowntime, MaxDowntime time.Duration
+	TotalDowntime time.Duration `json:"total_downtime_ns"`
+	MaxDowntime   time.Duration `json:"max_downtime_ns"`
 }
 
 // Clean reports whether the stream kept the zero-loss invariant: every
@@ -115,6 +117,7 @@ type Stream struct {
 	submitc chan Frame
 	outc    chan Frame
 	remapc  chan remapReq
+	closec  chan struct{} // closed by Close to start the shutdown flush
 	donec   chan struct{}
 
 	closeOnce sync.Once
@@ -148,6 +151,7 @@ func (e *Engine) StartStream(cfg StreamConfig) (*Stream, error) {
 		submitc:    make(chan Frame),
 		outc:       make(chan Frame, cfg.MaxPending+5*(nProc+1)),
 		remapc:     make(chan remapReq),
+		closec:     make(chan struct{}),
 		donec:      make(chan struct{}),
 	}
 	if !e.stream.CompareAndSwap(nil, s) {
@@ -173,11 +177,13 @@ func (s *Stream) Submit(f Frame) error {
 // the channel closes after Close has flushed everything.
 func (s *Stream) Out() <-chan Frame { return s.outc }
 
-// Close ends the stream after all Submit calls have returned: the backlog
-// and every in-flight frame are flushed through the pipeline, Out is
-// closed, and the final report is returned. Idempotent.
+// Close ends the stream: the backlog and every in-flight frame are
+// flushed through the pipeline, Out is closed, and the final report is
+// returned. Idempotent. submitc itself is never closed — a Submit racing
+// or following Close parks on the channel until the pump exits and then
+// returns ErrStreamClosed, instead of panicking on a closed send.
 func (s *Stream) Close() StreamReport {
-	s.closeOnce.Do(func() { close(s.submitc) })
+	s.closeOnce.Do(func() { close(s.closec) })
 	<-s.donec
 	s.e.stream.CompareAndSwap(s, nil)
 	return s.Report()
@@ -220,6 +226,7 @@ func (s *Stream) run() {
 	c := s.e.newChain()
 	inflight := 0
 	closing := false
+	closec := s.closec
 	for {
 		if closing && len(s.pending) == 0 && inflight == 0 {
 			break
@@ -234,11 +241,10 @@ func (s *Stream) run() {
 			submitc = nil // backpressure: stop accepting until the backlog drains
 		}
 		select {
-		case f, ok := <-submitc:
-			if !ok {
-				closing = true
-				continue
-			}
+		case <-closec:
+			closing = true
+			closec = nil // take this branch once
+		case f := <-submitc:
 			s.pending = append(s.pending, token{seq: f.Seq, data: f.Data})
 			s.expect = append(s.expect, f.Seq)
 			s.submitted.Add(1)

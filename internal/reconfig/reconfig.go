@@ -112,6 +112,9 @@ type Manager struct {
 	downtime     [FullRemap + 1]time.Duration
 	rollbacks    int
 	rollbackTime time.Duration
+	// res is the ambient cancellation token (SetResources); every remap
+	// solve runs under a per-repair child scope of it.
+	res *embed.Resources
 
 	reg          *obs.Registry
 	repairLat    [FullRemap + 1]*obs.Histogram // per-tactic repair latency
@@ -154,15 +157,24 @@ func (m *Manager) Stats() Stats { return m.stats }
 func (m *Manager) Faults() bitset.Set { return m.faults.Clone() }
 
 // SetDeadline bounds every subsequent repair's full-remap solve to d of
-// wall-clock time: the solver itself gives up (and the operation rolls
-// back to the last valid pipeline) when the deadline expires, and even a
-// solution that arrives late is discarded — a deployment would already
-// have declared the remap failed. Local tactics (splice/rewire/swap/
-// insert) are microsecond-scale and are not bounded. 0 disables.
-func (m *Manager) SetDeadline(d time.Duration) {
-	m.deadline = d
-	m.solver.SetDeadline(d)
-}
+// wall-clock time: the solver gives up (and the operation rolls back to
+// the last valid pipeline) when the deadline expires, and even a solution
+// that arrives late is discarded — a deployment would already have
+// declared the remap failed. The bound is enforced through a per-repair
+// embed.Resources scope (a timer latches the stop flag; the solver's hot
+// loops never read the clock), budgeted with the time the local tactics
+// already consumed. Local tactics themselves are microsecond-scale and
+// are not bounded. 0 disables.
+func (m *Manager) SetDeadline(d time.Duration) { m.deadline = d }
+
+// SetResources attaches an ambient cancellation/budget token: canceling
+// it aborts any in-flight full-remap solve — the repair rolls back like a
+// deadline miss, with errors.Is(err, embed.ErrCanceled) true — and makes
+// subsequent remaps fail fast until the token is replaced. nil detaches.
+func (m *Manager) SetResources(r *embed.Resources) { m.res = r }
+
+// Resources returns the ambient token (nil when unset).
+func (m *Manager) Resources() *embed.Resources { return m.res }
 
 // Downtime returns a copy of the per-tactic downtime ledger.
 func (m *Manager) Downtime() DowntimeStats {
@@ -366,19 +378,39 @@ func (m *Manager) repairEndpoint(idx int) (graph.Path, Tactic) {
 	return nil, FullRemap
 }
 
-// fullRemap recomputes the pipeline with the solver. The solve is bounded
-// by the manager's deadline two ways: the solver itself polls the clock
-// and reports Unknown on expiry, and a result that lands after the
-// deadline — even a valid one — is discarded, because a deployment would
-// already have declared the remap failed. `started` is when the repair
-// began (the deadline covers the whole repair, local tactics included).
+// fullRemap recomputes the pipeline with the solver. The solve runs under
+// a child scope of the manager's ambient token carrying whatever remains
+// of the repair deadline (`started` is when the repair began — the
+// deadline covers the whole repair, local tactics included). The deadline
+// is enforced twice: the scope's timer stops the solver mid-search, and a
+// result that lands after the deadline — even a valid one — is discarded,
+// because a deployment would already have declared the remap failed.
 func (m *Manager) fullRemap(started time.Time) error {
+	if m.res != nil && m.res.Stopped() {
+		return fmt.Errorf("reconfig: remap aborted: %w", m.res.Err())
+	}
+	if m.deadline > 0 {
+		remaining := m.deadline - time.Since(started)
+		if remaining <= 0 {
+			return fmt.Errorf("reconfig: %w (%v elapsed, deadline %v)",
+				ErrDeadline, time.Since(started).Round(time.Microsecond), m.deadline)
+		}
+		scope := embed.Scoped(m.res, remaining)
+		defer scope.Release()
+		m.solver.SetResources(scope)
+		defer m.solver.SetResources(m.res)
+	} else {
+		m.solver.SetResources(m.res)
+	}
 	res := m.solver.Find(m.faults)
 	if m.deadline > 0 && time.Since(started) > m.deadline {
 		return fmt.Errorf("reconfig: %w (%v elapsed, deadline %v)",
 			ErrDeadline, time.Since(started).Round(time.Microsecond), m.deadline)
 	}
 	if !res.Found {
+		if res.Unknown && m.res != nil && m.res.Stopped() {
+			return fmt.Errorf("reconfig: remap canceled: %w", m.res.Err())
+		}
 		return fmt.Errorf("reconfig: no pipeline (unknown=%v, faults=%v)", res.Unknown, m.faults.Slice())
 	}
 	if err := verify.CheckPipeline(m.g, m.faults, res.Pipeline); err != nil {

@@ -22,6 +22,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -67,6 +68,19 @@ type Options struct {
 	// closed-form circulant reflection when Solver.Layout is set). Every
 	// permutation used for pruning has passed autom's certificate check.
 	Group *autom.Group
+	// Context cancels the run: workers observe it through a shared
+	// embed.Resources token (one atomic load between fault sets and per
+	// solver expansion) and stop mid-chunk, including abandoning an
+	// in-flight solve. The partial Report is returned with Interrupted set.
+	// nil means the run cannot be canceled externally. When Solver.Res is
+	// set it is used as the token parent instead and Context is ignored.
+	Context context.Context
+	// FailFast cancels the sweep at the first counterexample: every worker
+	// abandons its remaining chunks (and its in-flight solve) as soon as one
+	// failure is recorded. The report is then a disproof of GD(G, k) — with
+	// possibly-incomplete coverage counters — rather than a full census.
+	// Off by default: existing callers rely on complete enumeration.
+	FailFast bool
 }
 
 // FaultSetRecord describes one fault set with an abnormal outcome.
@@ -100,18 +114,31 @@ type Report struct {
 	// pipeline (should be impossible; recorded rather than trusted).
 	SolverBugs []FaultSetRecord `json:"solver_bugs,omitempty"`
 	Duration   time.Duration    `json:"duration_ns"`
+	// Interrupted reports that the run was stopped by external cancellation
+	// (Options.Context or the caller's Resources token) before the sweep
+	// finished; the counters cover only the prefix that completed. A
+	// FailFast short-circuit does NOT set it — that run ended with a
+	// definitive disproof, not an interruption.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Tiers aggregates the per-worker solver tier statistics: which engine
+	// resolved how many of the Checked fault sets.
+	Tiers embed.TierStats `json:"tiers"`
 }
 
 // OK reports whether the run proves (exhaustive) or is consistent with
-// (random) k-graceful degradability: no failures, no unknowns, no bugs.
+// (random) k-graceful degradability: no failures, no unknowns, no bugs —
+// and, for an interrupted run, never: a clean prefix proves nothing.
 func (r *Report) OK() bool {
-	return r.FailureCount == 0 && r.UnknownCount == 0 && len(r.SolverBugs) == 0
+	return !r.Interrupted && r.FailureCount == 0 && r.UnknownCount == 0 && len(r.SolverBugs) == 0
 }
 
 // String formats a one-line summary.
 func (r *Report) String() string {
 	status := "OK"
-	if !r.OK() {
+	if r.Interrupted {
+		status = fmt.Sprintf("INTERRUPTED (%d failures, %d unknowns so far)",
+			r.FailureCount, r.UnknownCount)
+	} else if !r.OK() {
 		status = fmt.Sprintf("FAILED (%d failures, %d unknowns, %d solver bugs)",
 			r.FailureCount, r.UnknownCount, len(r.SolverBugs))
 	}
@@ -202,6 +229,14 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 	rep := &Report{GraphName: g.Name(), K: k}
 	start := time.Now()
 
+	// Two-level stop token: the root latches external cancellation, the
+	// sweep child additionally latches FailFast short-circuits. Which level
+	// stopped distinguishes Interrupted from a legitimate early disproof.
+	root, sweep := runTokens(opts)
+	defer root.Release()
+	defer sweep.Release()
+	opts.Solver.Res = sweep // workers inherit the sweep token
+
 	var orbit *orbitTester
 	if opts.ExploitSymmetry {
 		group := opts.Group
@@ -248,6 +283,7 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 			wk := newWorker(g, opts, universe)
 			sub := make([]int, k)
 			scratch := make([]int, k)
+		sweepLoop:
 			for {
 				c, ok := deques[w].popTail()
 				if !ok {
@@ -264,13 +300,24 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 					if r > c.from {
 						combin.NextSubset(len(universe), ss)
 					}
+					// One atomic load per fault set: a stopped sweep (ctx
+					// cancel or another worker's FailFast hit) abandons the
+					// remaining chunks, including any stolen ones.
+					if sweep.Stopped() {
+						break sweepLoop
+					}
 					wk.local.Represented++
 					if orbit != nil && !orbit.isMinimal(ss, scratch) {
 						continue
 					}
-					wk.check(ss)
+					if !wk.check(ss) {
+						// Abandoned mid-solve: no verdict for this set.
+						wk.local.Represented--
+						break sweepLoop
+					}
 				}
 			}
+			wk.local.Tiers = wk.solver.Stats()
 			results <- wk.local
 		}(w)
 	}
@@ -279,6 +326,7 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 	for local := range results {
 		merge(rep, local, opts.MaxRecorded)
 	}
+	rep.Interrupted = root.Stopped()
 	rep.Duration = time.Since(start)
 
 	if reg := obs.Default(); reg.Enabled() {
@@ -287,8 +335,24 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 			reg.Counter("verify_orbit_total", obs.L("result", "pruned")).Add(rep.Represented - rep.Checked)
 		}
 		reg.Counter("verify_steals_total").Add(rep.Steals)
+		rep.Tiers.Publish(reg)
 	}
 	return rep
+}
+
+// runTokens builds the two-level token pair governing a verification run.
+// The root is a child of the caller's Solver.Res when one is supplied
+// (Context is then ignored — the caller's token already carries it),
+// otherwise a fresh root watching Options.Context. The sweep token is what
+// workers actually hold: FailFast cancels only the sweep, so an external
+// stop is distinguishable as root.Stopped().
+func runTokens(opts Options) (root, sweep *embed.Resources) {
+	if opts.Solver.Res != nil {
+		root = opts.Solver.Res.Child()
+	} else {
+		root = embed.NewResources(opts.Context, 0, 0)
+	}
+	return root, root.Child()
 }
 
 // rankChunk is a contiguous range [from, to) of lexicographic subset ranks
@@ -445,6 +509,11 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 	rep := &Report{GraphName: g.Name(), K: k}
 	start := time.Now()
 
+	root, sweep := runTokens(opts)
+	defer root.Release()
+	defer sweep.Release()
+	opts.Solver.Res = sweep
+
 	var wg sync.WaitGroup
 	results := make(chan *Report, opts.Workers)
 	per := (trials + opts.Workers - 1) / opts.Workers
@@ -462,14 +531,21 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 				n = rem
 			}
 			for t := 0; t < n; t++ {
+				if sweep.Stopped() {
+					break
+				}
 				size := rng.Intn(k + 1)
 				if size > len(universe) {
 					size = len(universe)
 				}
 				buf = combin.RandomSubset(rng, len(universe), size, buf)
 				wk.local.Represented++
-				wk.check(buf)
+				if !wk.check(buf) {
+					wk.local.Represented--
+					break
+				}
 			}
+			wk.local.Tiers = wk.solver.Stats()
 			results <- wk.local
 		}(w)
 	}
@@ -478,6 +554,7 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 	for local := range results {
 		merge(rep, local, opts.MaxRecorded)
 	}
+	rep.Interrupted = root.Stopped()
 	rep.Duration = time.Since(start)
 	return rep
 }
@@ -495,6 +572,8 @@ type worker struct {
 	universe []int
 	local    *Report
 	maxRec   int
+	stop     *embed.Resources // the sweep token; nil in unit tests only
+	failFast bool
 
 	prev, cur      []int // node ids of the previous/current fault set, ascending
 	removed, added []int
@@ -508,12 +587,16 @@ func newWorker(g *graph.Graph, opts Options, universe []int) *worker {
 		universe: universe,
 		local:    &Report{},
 		maxRec:   opts.MaxRecorded,
+		stop:     opts.Solver.Res,
+		failFast: opts.FailFast,
 	}
 }
 
 // check runs the solver on the fault set given by sub (ascending universe
-// indices) and records the outcome.
-func (w *worker) check(sub []int) {
+// indices) and records the outcome. It returns false when the solve was
+// abandoned because the stop token latched mid-call — the set reached no
+// verdict and is uncounted; the caller must stop iterating.
+func (w *worker) check(sub []int) bool {
 	w.cur = w.cur[:0]
 	for _, idx := range sub {
 		w.cur = append(w.cur, w.universe[idx])
@@ -529,6 +612,12 @@ func (w *worker) check(sub []int) {
 
 	w.local.Checked++
 	res := w.solver.FindDelta(w.faults, w.removed, w.added)
+	if res.Unknown && w.stop != nil && w.stop.Stopped() {
+		// Canceled mid-solve: Unknown here means "abandoned", not "budget
+		// exhausted" — the set is uncounted rather than misreported.
+		w.local.Checked--
+		return false
+	}
 	switch {
 	case res.Unknown:
 		w.local.UnknownCount++
@@ -536,11 +625,17 @@ func (w *worker) check(sub []int) {
 	case !res.Found:
 		w.local.FailureCount++
 		record(&w.local.Failures, w.universe, sub, "no pipeline", w.maxRec)
+		if w.failFast && w.stop != nil {
+			// First counterexample ends the sweep: every worker observes the
+			// stopped token at its next fault set (or mid-solve expansion).
+			w.stop.Cancel()
+		}
 	default:
 		if err := CheckPipeline(w.g, w.faults, res.Pipeline); err != nil {
 			record(&w.local.SolverBugs, w.universe, sub, err.Error(), w.maxRec)
 		}
 	}
+	return true
 }
 
 // diffSorted merge-diffs two ascending id slices: ids only in prev go to
@@ -582,6 +677,7 @@ func merge(rep, local *Report, maxRec int) {
 	rep.Steals += local.Steals
 	rep.FailureCount += local.FailureCount
 	rep.UnknownCount += local.UnknownCount
+	rep.Tiers.Add(local.Tiers)
 	for _, f := range local.Failures {
 		if len(rep.Failures) < maxRec {
 			rep.Failures = append(rep.Failures, f)
