@@ -25,12 +25,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"gdpn/internal/experiments"
 	"gdpn/internal/obs"
+	"gdpn/internal/telemetry"
 )
 
 // jsonReport is the -json output schema.
@@ -52,8 +54,28 @@ func main() {
 		symm    = flag.Bool("symmetry", false, "orbit-reduced exhaustive verification inside every experiment")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (tables + metrics) on stdout")
 		raceEng = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets in every verification")
+		addr    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/spans, /slo on this address during the run")
 	)
+	tf := telemetry.Register()
 	flag.Parse()
+	if tf.SLO > 0 || tf.TraceDump != "" {
+		obs.Default().SetEnabled(true)
+	}
+	if err := tf.Activate(); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpbench:", err)
+		os.Exit(2)
+	}
+	if *addr != "" {
+		obs.Default().SetEnabled(true)
+		srv := &http.Server{Addr: *addr, Handler: obs.Default().Mux(tf.MuxOptions()...)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "gdpbench: metrics server:", err)
+				os.Exit(2)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "gdpbench: serving /metrics, /debug/trace, /debug/spans, /slo on %s\n", *addr)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -95,7 +117,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gdpbench:", err)
 			os.Exit(2)
 		}
-		if !ok {
+		if !tf.Report(os.Stderr) || !ok {
 			os.Exit(1)
 		}
 		return
@@ -106,13 +128,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gdpbench:", err)
 			os.Exit(2)
 		}
-		if !ok {
+		if !tf.Report(os.Stderr) || !ok {
 			os.Exit(1)
 		}
 		return
 	}
 	if !experiments.RunAll(cfg, os.Stdout) {
 		fmt.Fprintln(os.Stderr, "gdpbench: at least one experiment mismatched its paper claim")
+		os.Exit(1)
+	}
+	if !tf.Report(os.Stderr) {
 		os.Exit(1)
 	}
 	fmt.Println("all experiments match the paper's claims")

@@ -48,6 +48,7 @@ import (
 	"gdpn/internal/obs"
 	"gdpn/internal/pipeline"
 	"gdpn/internal/stages"
+	"gdpn/internal/telemetry"
 	"gdpn/internal/workload"
 )
 
@@ -72,18 +73,26 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "chaos: suppress the per-event log, print only the final report")
 		jsonOut   = flag.Bool("json", false, "chaos: emit the soak report as JSON on stdout")
 	)
+	tf := telemetry.Register()
 	flag.Parse()
 
 	reg := obs.Default()
+	if tf.SLO > 0 || tf.TraceDump != "" {
+		// Both layers feed off the registry (SLO gauges, dump snapshots).
+		reg.SetEnabled(true)
+	}
+	if err := tf.Activate(); err != nil {
+		fatal(err)
+	}
 	if *addr != "" {
 		reg.SetEnabled(true)
-		srv := &http.Server{Addr: *addr, Handler: reg.Mux()}
+		srv := &http.Server{Addr: *addr, Handler: reg.Mux(tf.MuxOptions()...)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fatal(fmt.Errorf("metrics server: %w", err))
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "gdpsim: serving /metrics and /debug/trace on %s\n", *addr)
+		fmt.Fprintf(os.Stderr, "gdpsim: serving /metrics, /debug/trace, /debug/spans, /slo on %s\n", *addr)
 		if *interval > 0 {
 			ticker := time.NewTicker(*interval)
 			go func() {
@@ -149,8 +158,13 @@ func main() {
 		if *addr != "" {
 			fmt.Fprintln(os.Stderr, summaryLine(reg))
 		}
+		healthy := tf.Report(os.Stderr)
 		if !rep.OK() {
 			fmt.Fprintf(os.Stderr, "gdpsim: chaos soak FAILED (rerun with -chaos -seed %d to reproduce)\n", *seed)
+			os.Exit(1)
+		}
+		if !healthy {
+			fmt.Fprintln(os.Stderr, "gdpsim: SLO objective breached")
 			os.Exit(1)
 		}
 		return
@@ -204,6 +218,10 @@ func main() {
 		eng.Metrics().FramesProcessed, eng.Metrics().Remaps, eng.Metrics().RemapTime.Round(time.Microsecond))
 	if *addr != "" {
 		fmt.Fprintln(os.Stderr, summaryLine(reg))
+	}
+	if !tf.Report(os.Stderr) {
+		fmt.Fprintln(os.Stderr, "gdpsim: SLO objective breached")
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,354 @@
+// Command gdptrace renders span dumps — flight-recorder bundles written
+// by -trace-dump, or the JSON array served at /debug/spans?format=json —
+// as per-trace timelines with critical-path attribution.
+//
+// For every trace (one root span: a remap, a soak, a sweep chunk) the
+// text view prints the span tree with offset/duration bars scaled to the
+// root, and a per-phase attribution table: how much of the root's wall
+// clock each direct child phase covered, how much only that phase covered
+// (exclusive — the critical-path weight), and the uncovered remainder.
+// That is what turns "the remap blew its deadline" into "solve ate 93%
+// after both local tactics missed".
+//
+// Usage:
+//
+//	gdptrace flight-001-remap_deadline.json
+//	gdptrace -html -o timeline.html flight-001-remap_deadline.json
+//	curl -s localhost:9090/debug/spans?format=json | gdptrace /dev/stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gdpn/internal/obs/span"
+)
+
+func main() {
+	var (
+		htmlOut = flag.Bool("html", false, "render an HTML timeline instead of text")
+		outPath = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gdptrace [-html] [-o out] <dump.json>")
+		os.Exit(2)
+	}
+	spans, dump, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *htmlOut {
+		err = renderHTML(w, dump, spans)
+	} else {
+		err = renderText(w, dump, spans)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// load reads path as a flight-recorder Dump or, failing that, as a bare
+// JSON array of spans (the /debug/spans?format=json shape).
+func load(path string) ([]span.Span, *span.Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var d span.Dump
+	if err := json.Unmarshal(data, &d); err == nil && d.Kind != "" {
+		return d.Spans, &d, nil
+	}
+	var ss []span.Span
+	if err := json.Unmarshal(data, &ss); err == nil {
+		return ss, nil, nil
+	}
+	return nil, nil, fmt.Errorf("gdptrace: %s is neither a flight dump nor a span array", path)
+}
+
+// traceTree is one root span plus its (transitively) linked descendants.
+type traceTree struct {
+	root     span.Span
+	children map[uint64][]span.Span // parent ID → children, by start time
+}
+
+// buildTraces groups spans into trees. A span whose parent is missing
+// from the set (evicted from the ring) is promoted to a root so nothing
+// silently disappears from the rendering.
+func buildTraces(spans []span.Span) []traceTree {
+	byID := make(map[uint64]span.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	children := make(map[uint64][]span.Span)
+	var roots []span.Span
+	for _, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := byID[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], s)
+				continue
+			}
+		}
+		roots = append(roots, s)
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Start < cs[j].Start })
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Start < roots[j].Start })
+	out := make([]traceTree, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, traceTree{root: r, children: children})
+	}
+	return out
+}
+
+// phaseShare is one direct child phase's share of the root's wall clock.
+type phaseShare struct {
+	name      string
+	total     time.Duration // sum of this phase's span durations
+	exclusive time.Duration // covered by this phase and no sibling phase
+}
+
+// attribute computes per-phase coverage of the root's extent. Exclusive
+// time is apportioned by sweeping sibling intervals: where exactly one
+// phase is active it gets the whole slice; overlapped slices count toward
+// total only. The remainder (no child active) is returned as gap.
+func attribute(t traceTree) (shares []phaseShare, gap time.Duration) {
+	kids := t.children[t.root.ID]
+	if len(kids) == 0 {
+		return nil, t.root.Duration()
+	}
+	type edge struct {
+		at    time.Duration
+		phase int
+		open  bool
+	}
+	byName := map[string]int{}
+	var edges []edge
+	for _, k := range kids {
+		idx, ok := byName[k.Name]
+		if !ok {
+			idx = len(shares)
+			byName[k.Name] = idx
+			shares = append(shares, phaseShare{name: k.Name})
+		}
+		shares[idx].total += k.Duration()
+		edges = append(edges, edge{k.Start, idx, true}, edge{k.End, idx, false})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	active := make([]int, len(shares))
+	covered := time.Duration(0)
+	nActive, cur, lastAt := 0, -1, edges[0].at
+	for _, e := range edges {
+		if d := e.at - lastAt; d > 0 {
+			if nActive == 1 {
+				shares[cur].exclusive += d
+			}
+			if nActive > 0 {
+				covered += d
+			}
+		}
+		lastAt = e.at
+		if e.open {
+			active[e.phase]++
+			nActive++
+		} else {
+			active[e.phase]--
+			nActive--
+		}
+		cur = -1
+		if nActive == 1 {
+			for i, n := range active {
+				if n > 0 {
+					cur = i
+					break
+				}
+			}
+		}
+	}
+	gap = t.root.Duration() - covered
+	if gap < 0 {
+		gap = 0
+	}
+	return shares, gap
+}
+
+const barWidth = 32
+
+// bar renders a span's offset/extent within the root as a fixed-width
+// strip: '·' outside the span, '#' inside.
+func bar(root, s span.Span) string {
+	total := root.Duration()
+	if total <= 0 {
+		return strings.Repeat("·", barWidth)
+	}
+	from := int(int64(barWidth) * int64(s.Start-root.Start) / int64(total))
+	to := int(int64(barWidth) * int64(s.End-root.Start) / int64(total))
+	from, to = clamp(from, 0, barWidth), clamp(to, 0, barWidth)
+	if to <= from {
+		to = from + 1
+		if to > barWidth {
+			from, to = barWidth-1, barWidth
+		}
+	}
+	return strings.Repeat("·", from) + strings.Repeat("#", to-from) + strings.Repeat("·", barWidth-to)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// attrLine renders a span's attributes as " k=v k=v".
+func attrLine(s span.Span) string {
+	var b strings.Builder
+	for _, a := range s.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Value())
+	}
+	return b.String()
+}
+
+func renderText(w io.Writer, dump *span.Dump, spans []span.Span) error {
+	if dump != nil {
+		fmt.Fprintf(w, "flight dump: anomaly=%s detail=%q written=%s spans=%d",
+			dump.Kind, dump.Detail, dump.WrittenAt.Format(time.RFC3339), len(dump.Spans))
+		if dump.SpansDropped > 0 {
+			fmt.Fprintf(w, " (+%d evicted)", dump.SpansDropped)
+		}
+		fmt.Fprintln(w)
+		if len(dump.CounterDeltas) > 0 {
+			keys := make([]string, 0, len(dump.CounterDeltas))
+			for k := range dump.CounterDeltas {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintln(w, "counters moved since arm/last dump:")
+			for _, k := range keys {
+				fmt.Fprintf(w, "  %-48s %+d\n", k, dump.CounterDeltas[k])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	traces := buildTraces(spans)
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "no spans")
+		return nil
+	}
+	for _, t := range traces {
+		r := t.root
+		fmt.Fprintf(w, "trace %d: %s status=%s dur=%v%s\n",
+			r.Trace, r.Name, r.Status, r.Duration().Round(time.Microsecond), attrLine(r))
+		var walk func(id uint64, depth int)
+		walk = func(id uint64, depth int) {
+			for _, c := range t.children[id] {
+				fmt.Fprintf(w, "  %s%-*s %s %8v %s%s\n",
+					strings.Repeat("  ", depth), 14-2*depth, c.Name, bar(r, c),
+					c.Duration().Round(time.Microsecond), c.Status, attrLine(c))
+				walk(c.ID, depth+1)
+			}
+		}
+		walk(r.ID, 0)
+		for _, e := range r.Events {
+			fmt.Fprintf(w, "    @%v %s %s\n", (e.At - r.Start).Round(time.Millisecond), e.Name, e.Fields)
+		}
+		if shares, gap := attribute(t); len(shares) > 0 && r.Duration() > 0 {
+			fmt.Fprintf(w, "  critical path:")
+			sort.Slice(shares, func(i, j int) bool { return shares[i].exclusive > shares[j].exclusive })
+			for _, s := range shares {
+				fmt.Fprintf(w, " %s=%v(%.0f%%)", s.name, s.exclusive.Round(time.Microsecond),
+					100*float64(s.exclusive)/float64(r.Duration()))
+			}
+			fmt.Fprintf(w, " uncovered=%v(%.0f%%)\n", gap.Round(time.Microsecond),
+				100*float64(gap)/float64(r.Duration()))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func renderHTML(w io.Writer, dump *span.Dump, spans []span.Span) error {
+	traces := buildTraces(spans)
+	fmt.Fprint(w, `<!doctype html><meta charset="utf-8"><title>gdptrace</title><style>
+body{font:13px/1.5 monospace;margin:2em;background:#111;color:#ddd}
+.trace{margin-bottom:2em}
+.row{position:relative;height:1.4em}
+.row .label{position:absolute;left:0;width:18em;overflow:hidden;white-space:nowrap}
+.row .lane{position:absolute;left:19em;right:0;top:.15em;height:1.1em;background:#1c1c1c}
+.row .sp{position:absolute;height:100%;border-radius:2px;min-width:2px}
+.ok{background:#2e7d32}.canceled{background:#8d6e08}.deadline{background:#b3541e}
+.rollback{background:#a92222}.error{background:#c2185b}
+h2{color:#fff;font-size:14px}.meta{color:#888}
+</style>`)
+	if dump != nil {
+		fmt.Fprintf(w, "<h1>flight dump: %s</h1><p class=meta>%s — %s</p>",
+			html.EscapeString(string(dump.Kind)), html.EscapeString(dump.Detail),
+			dump.WrittenAt.Format(time.RFC3339))
+	}
+	for _, t := range traces {
+		r := t.root
+		total := r.Duration()
+		if total <= 0 {
+			total = 1
+		}
+		fmt.Fprintf(w, `<div class=trace><h2>trace %d: %s <span class=meta>status=%s dur=%v%s</span></h2>`,
+			r.Trace, html.EscapeString(r.Name), r.Status, r.Duration().Round(time.Microsecond),
+			html.EscapeString(attrLine(r)))
+		var walk func(s span.Span, depth int)
+		walk = func(s span.Span, depth int) {
+			left := 100 * float64(s.Start-r.Start) / float64(total)
+			width := 100 * float64(s.Duration()) / float64(total)
+			fmt.Fprintf(w,
+				`<div class=row><span class=label>%s%s %v</span><span class=lane><span class="sp %s" style="left:%.2f%%;width:%.2f%%" title="%s"></span></span></div>`,
+				strings.Repeat("&nbsp;", 2*depth), html.EscapeString(s.Name),
+				s.Duration().Round(time.Microsecond), statusClass(s.Status), left, width,
+				html.EscapeString(s.Name+attrLine(s)))
+			for _, c := range t.children[s.ID] {
+				walk(c, depth+1)
+			}
+		}
+		walk(r, 0)
+		fmt.Fprint(w, "</div>")
+	}
+	return nil
+}
+
+func statusClass(st span.Status) string {
+	switch st {
+	case span.OK:
+		return "ok"
+	case span.Canceled:
+		return "canceled"
+	case span.Deadline:
+		return "deadline"
+	case span.Rollback:
+		return "rollback"
+	default:
+		return "error"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gdptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gdpn/internal/obs/span"
+)
+
+// syntheticDump builds a dump shaped like a real remap-deadline bundle: a
+// root remap span with plan (two tactic attempts), solve, and audit
+// children, plus an orphan whose parent was evicted from the ring.
+func syntheticDump() span.Dump {
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	spans := []span.Span{
+		{ID: 2, Parent: 1, Trace: 1, Name: "detect", Start: ms(0), End: ms(1), Status: span.OK,
+			Attrs: []span.Attr{{Key: "node", Int: 5, IsInt: true}}},
+		{ID: 3, Parent: 1, Trace: 1, Name: "plan", Start: ms(1), End: ms(3), Status: span.Errored,
+			Attrs: []span.Attr{{Key: "tactic", Str: "exhausted"}}},
+		{ID: 4, Parent: 3, Trace: 1, Name: "tactic", Start: ms(1), End: ms(2), Status: span.Errored,
+			Attrs: []span.Attr{{Key: "name", Str: "splice"}}},
+		{ID: 5, Parent: 3, Trace: 1, Name: "tactic", Start: ms(2), End: ms(3), Status: span.Errored,
+			Attrs: []span.Attr{{Key: "name", Str: "rewire-right"}}},
+		{ID: 6, Parent: 1, Trace: 1, Name: "solve", Start: ms(3), End: ms(48), Status: span.Deadline,
+			Attrs: []span.Attr{{Key: "tier", Str: "full"}, {Key: "cancel_reason", Str: "deadline"}}},
+		{ID: 1, Parent: 0, Trace: 1, Name: "remap", Start: ms(0), End: ms(50), Status: span.Deadline,
+			Attrs: []span.Attr{{Key: "op", Str: "inject"}, {Key: "cancel_reason", Str: "deadline"}}},
+		// Parent 90 is not in the set: must be promoted to a root, not lost.
+		{ID: 91, Parent: 90, Trace: 90, Name: "sweep-chunk", Start: ms(60), End: ms(61), Status: span.OK},
+	}
+	return span.Dump{
+		Version:       1,
+		Kind:          span.AnomalyDeadline,
+		Detail:        "node=5 err=remap deadline exceeded",
+		WrittenAt:     time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Seq:           1,
+		Spans:         spans,
+		CounterDeltas: map[string]int64{"reconfig_rollbacks_total": 1},
+	}
+}
+
+func writeDump(t *testing.T, d span.Dump) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flight-001-remap_deadline.json")
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadDumpAndSpanArray(t *testing.T) {
+	d := syntheticDump()
+	path := writeDump(t, d)
+	spans, dump, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump == nil || dump.Kind != span.AnomalyDeadline {
+		t.Fatalf("dump header not recognized: %+v", dump)
+	}
+	if len(spans) != len(d.Spans) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(d.Spans))
+	}
+
+	// A bare span array (the /debug/spans?format=json shape) must also load.
+	raw, _ := json.Marshal(d.Spans)
+	arrPath := filepath.Join(t.TempDir(), "spans.json")
+	if err := os.WriteFile(arrPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spans, dump, err = load(arrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump != nil {
+		t.Fatal("span array misread as a flight dump")
+	}
+	if len(spans) != len(d.Spans) {
+		t.Fatalf("got %d spans from array, want %d", len(spans), len(d.Spans))
+	}
+
+	if _, _, err := load(writeGarbage(t)); err == nil {
+		t.Fatal("garbage input did not error")
+	}
+}
+
+func writeGarbage(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte(`{"nope": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildTraces(t *testing.T) {
+	traces := buildTraces(syntheticDump().Spans)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2 (remap + orphan)", len(traces))
+	}
+	if traces[0].root.Name != "remap" {
+		t.Fatalf("first root = %q, want remap (sorted by start)", traces[0].root.Name)
+	}
+	if traces[1].root.Name != "sweep-chunk" {
+		t.Fatalf("orphan span not promoted to root: %q", traces[1].root.Name)
+	}
+	kids := traces[0].children[traces[0].root.ID]
+	if len(kids) != 3 {
+		t.Fatalf("remap has %d direct children, want 3", len(kids))
+	}
+	for i := 1; i < len(kids); i++ {
+		if kids[i].Start < kids[i-1].Start {
+			t.Fatal("children not sorted by start time")
+		}
+	}
+	if got := traces[0].children[3]; len(got) != 2 {
+		t.Fatalf("plan has %d tactic attempts, want 2", len(got))
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	traces := buildTraces(syntheticDump().Spans)
+	shares, gap := attribute(traces[0])
+	byName := map[string]phaseShare{}
+	for _, s := range shares {
+		byName[s.name] = s
+	}
+	// solve covers [3ms,48ms) exclusively: 45ms of the 50ms root.
+	if got := byName["solve"].exclusive; got != 45*time.Millisecond {
+		t.Fatalf("solve exclusive = %v, want 45ms", got)
+	}
+	if got := byName["plan"].exclusive; got != 2*time.Millisecond {
+		t.Fatalf("plan exclusive = %v, want 2ms", got)
+	}
+	// Root runs to 50ms but the last child ends at 48ms: 2ms uncovered.
+	if gap != 2*time.Millisecond {
+		t.Fatalf("gap = %v, want 2ms", gap)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	d := syntheticDump()
+	var buf bytes.Buffer
+	if err := renderText(&buf, &d, d.Spans); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"anomaly=remap_deadline",
+		"reconfig_rollbacks_total",
+		"remap status=deadline",
+		"detect", "plan", "solve",
+		"cancel_reason=deadline",
+		"critical path:",
+		"solve=45ms(90%)",
+		"sweep-chunk",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text render missing %q\n%s", want, out)
+		}
+	}
+	// Parent-consistent ordering: a child renders after its root header.
+	if strings.Index(out, "remap status") > strings.Index(out, "solve") {
+		t.Error("child span rendered before its root")
+	}
+}
+
+func TestRenderHTML(t *testing.T) {
+	d := syntheticDump()
+	var buf bytes.Buffer
+	if err := renderHTML(&buf, &d, d.Spans); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!doctype html", "remap_deadline", "class=\"sp deadline\"", "trace 1: remap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html render missing %q", want)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderText(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Fatalf("empty render = %q", buf.String())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +32,7 @@ import (
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
 	"gdpn/internal/obs"
+	"gdpn/internal/telemetry"
 	"gdpn/internal/verify"
 )
 
@@ -48,8 +50,26 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON blob (report + metrics) on stdout")
 		raceEng  = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets (verdict-identical, often faster)")
 		failFast = flag.Bool("fail-fast", false, "exhaustive mode: stop the sweep at the first counterexample")
+		addr     = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/spans, /slo on this address during the run")
 	)
+	tf := telemetry.Register()
 	flag.Parse()
+	if tf.SLO > 0 || tf.TraceDump != "" {
+		obs.Default().SetEnabled(true)
+	}
+	if err := tf.Activate(); err != nil {
+		fatal(err)
+	}
+	if *addr != "" {
+		obs.Default().SetEnabled(true)
+		srv := &http.Server{Addr: *addr, Handler: obs.Default().Mux(tf.MuxOptions()...)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal(fmt.Errorf("metrics server: %w", err))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "gdpverify: serving /metrics, /debug/trace, /debug/spans, /slo on %s\n", *addr)
+	}
 	if *certify != "" || *replay != "" {
 		certMode(*n, *k, *certify, *replay)
 		return
@@ -105,7 +125,7 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
-		if !rep.OK() {
+		if !tf.Report(os.Stderr) || !rep.OK() {
 			os.Exit(1)
 		}
 		return
@@ -117,7 +137,7 @@ func main() {
 	for _, u := range rep.Unknowns {
 		fmt.Printf("  unknown: %v (%s)\n", u.Nodes, u.Err)
 	}
-	if !rep.OK() {
+	if !tf.Report(os.Stderr) || !rep.OK() {
 		os.Exit(1)
 	}
 }

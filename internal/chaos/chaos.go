@@ -30,6 +30,7 @@ import (
 	"gdpn/internal/faults"
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
+	"gdpn/internal/obs/span"
 	"gdpn/internal/pipeline"
 	"gdpn/internal/reconfig"
 	"gdpn/internal/stages"
@@ -107,8 +108,10 @@ type Report struct {
 
 func (r *Report) violate(format string, args ...any) {
 	r.TotalViolations++
+	msg := fmt.Sprintf(format, args...)
+	span.Trip(span.AnomalyInvariant, msg)
 	if len(r.Violations) < maxRecordedViolations {
-		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+		r.Violations = append(r.Violations, msg)
 	}
 }
 
@@ -243,6 +246,12 @@ func Run(sol *construct.Solution, stgs []stages.Stage, cfg Config) (*Report, err
 		return nil, err
 	}
 	injected := obs.Default().Counter("chaos_faults_injected_total")
+	// The soak's own root span: schedule events attach to it as they are
+	// applied, and it lands in the ring when the run finishes — a flight
+	// dump mid-soak therefore carries the remap trees, while the soak span
+	// itself shows up in end-of-run snapshots.
+	soak := span.Start(nil, "soak")
+	soak.SetInt("seed", cfg.Seed).SetInt("k", int64(sol.K)).SetInt("n", int64(sol.N))
 
 	// Producer: continuous seq-numbered traffic until told to stop.
 	stop := make(chan struct{})
@@ -312,6 +321,7 @@ eventLoop:
 					rep.FaultsInjected++
 					injected.Inc()
 				}
+				soak.Eventf("apply", "%s procs-in-use=%d", ev, eng.ProcessorsInUse())
 				logf("chaos: %s procs-in-use=%d", ev, eng.ProcessorsInUse())
 			case errors.Is(err, embed.ErrCanceled):
 				// External cancellation aborted the remap mid-solve; the
@@ -323,6 +333,7 @@ eventLoop:
 			case errors.Is(err, reconfig.ErrDeadline):
 				rep.DeadlineRollbacks++
 				sch.Deny(ev)
+				soak.Eventf("rollback", "%s deadline: %v", ev, err)
 				logf("chaos: %s ROLLED BACK (deadline): %v", ev, err)
 			default:
 				// Within the k budget every event must apply; anything else
@@ -354,6 +365,13 @@ eventLoop:
 		rep.violate("stream not clean: lost=%d duplicated=%d out-of-order=%d submitted=%d delivered=%d",
 			rep.Stream.Lost, rep.Stream.Duplicated, rep.Stream.OutOfOrder,
 			rep.Stream.Submitted, rep.Stream.Delivered)
+	}
+	soak.SetInt("faults", int64(rep.FaultsInjected)).SetInt("repairs", int64(rep.RepairsApplied))
+	soak.SetInt("remaps", rep.Stream.Remaps).SetInt("violations", int64(rep.TotalViolations))
+	if rep.OK() {
+		soak.End(span.OK)
+	} else {
+		soak.End(span.Errored)
 	}
 	return rep, nil
 }

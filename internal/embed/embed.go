@@ -33,6 +33,7 @@ import (
 	"gdpn/internal/construct"
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
+	"gdpn/internal/obs/span"
 )
 
 // MaxDPProcessors is the largest healthy-processor count the exact DP
@@ -200,6 +201,12 @@ type Solver struct {
 	// per-call child of it when Options.Deadline is set.
 	run *Resources
 
+	// spanParent is the causal parent for per-call solve spans (SetSpan);
+	// raceWinner records which engine won the last racing Auto call ("" =
+	// no race) so the span can carry a race_winner attribute.
+	spanParent *span.S
+	raceWinner string
+
 	reg        *obs.Registry
 	findTime   *obs.Histogram  // wall time per Find call
 	expansions *obs.Counter    // DFS node expansions / DP transitions
@@ -289,21 +296,78 @@ func (s *Solver) SetResources(r *Resources) { s.opts.Res = r }
 // Resources returns the ambient token (nil when unset).
 func (s *Solver) Resources() *Resources { return s.opts.Res }
 
+// SetSpan attaches the causal parent for subsequent Find / FindDelta
+// calls: each call then records a "solve" child span carrying the
+// resolving tier, warm-start reuse, expansions, and — after a racing Auto
+// call — the winning engine. nil detaches (solve spans become roots, or
+// disappear entirely while the tracer is disabled).
+func (s *Solver) SetSpan(sp *span.S) { s.spanParent = sp }
+
 func (s *Solver) timed(faults bitset.Set, removed, added []int, delta bool) Result {
-	if s.reg.Enabled() {
-		start := time.Now()
-		before := tierDeltas(s.stats)
-		res := s.find(faults, removed, added, delta)
+	observing := s.reg.Enabled()
+	sp := span.Start(s.spanParent, "solve")
+	if !observing && sp == nil {
+		return s.find(faults, removed, added, delta)
+	}
+	start := time.Now()
+	before := tierDeltas(s.stats)
+	warmBefore := s.warmHits
+	s.raceWinner = ""
+	res := s.find(faults, removed, added, delta)
+	if observing {
 		s.findTime.ObserveSince(start)
 		s.expansions.Add(res.Expansions)
-		for i, after := range tierDeltas(s.stats) {
-			if d := after - before[i]; d > 0 {
+	}
+	tier := ""
+	for i, after := range tierDeltas(s.stats) {
+		if d := after - before[i]; d > 0 {
+			if observing {
 				s.tiers[i].Add(d)
 			}
+			tier = tierNames[i]
 		}
-		return res
 	}
-	return s.find(faults, removed, added, delta)
+	if sp != nil {
+		s.endSolveSpan(sp, res, tier, s.warmHits > warmBefore)
+	}
+	if slo := span.DefaultSLO(); slo.Enabled() {
+		slo.Observe("solve", time.Since(start))
+	}
+	return res
+}
+
+// endSolveSpan finishes one per-call solve span with the tier, warm-start,
+// race, and cancellation-reason attributes.
+func (s *Solver) endSolveSpan(sp *span.S, res Result, tier string, warm bool) {
+	if tier != "" {
+		sp.SetStr("tier", tier)
+	}
+	sp.SetInt("expansions", res.Expansions)
+	if warm {
+		sp.SetStr("warm", "hit")
+	}
+	if s.raceWinner != "" {
+		sp.SetStr("race_winner", s.raceWinner)
+	}
+	status := span.OK
+	switch {
+	case res.Found:
+		sp.SetStr("outcome", "found")
+	case res.Unknown:
+		sp.SetStr("outcome", "unknown")
+		if stopped(s.run) {
+			reason := s.run.Reason()
+			sp.SetStr("cancel_reason", reason.String())
+			if reason == StopDeadline {
+				status = span.Deadline
+			} else {
+				status = span.Canceled
+			}
+		}
+	default:
+		sp.SetStr("outcome", "not_found")
+	}
+	sp.End(status)
 }
 
 func (s *Solver) find(faults bitset.Set, removed, added []int, delta bool) Result {

@@ -61,9 +61,11 @@ func (s *Solver) race(e endpoints) Result {
 	}
 	if winner.dp {
 		s.stats.DP++
+		s.raceWinner = "dp"
 		s.raceWon[0].Inc()
 	} else {
 		s.stats.Full++
+		s.raceWinner = "backtrack"
 		s.raceWon[1].Inc()
 	}
 	return res

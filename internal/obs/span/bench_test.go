@@ -1,0 +1,71 @@
+package span
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-path contract: instrumentation left in hot paths must cost
+// ~a few ns and zero allocations per call. TestDisabledZeroAlloc is the
+// hard gate (fails the suite on any allocation); the benchmarks document
+// the per-op cost next to BENCH_baseline.json trends.
+
+func TestDisabledZeroAlloc(t *testing.T) {
+	tr := NewTracer(8)
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(nil, "hot")
+		sp.SetInt("k", 1)
+		sp.End(OK)
+	}); n != 0 {
+		t.Errorf("disabled span path allocates %.1f/op, want 0", n)
+	}
+	rec := &Recorder{}
+	if n := testing.AllocsPerRun(1000, func() {
+		rec.Trip(AnomalyFrameLoss, "")
+	}); n != 0 {
+		t.Errorf("disarmed Trip allocates %.1f/op, want 0", n)
+	}
+	s := NewSLO(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Observe("remap", time.Millisecond)
+	}); n != 0 {
+		t.Errorf("disabled SLO Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+func BenchmarkStartEndDisabled(b *testing.B) {
+	tr := NewTracer(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(nil, "hot")
+		sp.SetInt("k", int64(i))
+		sp.End(OK)
+	}
+}
+
+func BenchmarkStartEndEnabled(b *testing.B) {
+	tr := NewTracer(1024)
+	tr.SetEnabled(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(nil, "hot")
+		sp.SetInt("k", int64(i))
+		sp.End(OK)
+	}
+}
+
+func BenchmarkTripDisarmed(b *testing.B) {
+	rec := &Recorder{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Trip(AnomalyFrameLoss, "")
+	}
+}
+
+func BenchmarkSLOObserveDisabled(b *testing.B) {
+	s := NewSLO(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe("remap", time.Millisecond)
+	}
+}

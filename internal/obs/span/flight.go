@@ -1,0 +1,214 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdpn/internal/obs"
+)
+
+// The anomaly flight recorder: a disarmed recorder costs one atomic load
+// per Trip call, so the trip points (frame loss in the sink audit, remap
+// deadline misses and rollbacks, solver bugs, budget exhaustion) stay in
+// the code permanently. When armed, a trip snapshots the tracer's recent
+// spans plus the metric registry — with counter deltas since the previous
+// dump, so a dump shows what moved, not just totals — and writes one
+// self-contained JSON bundle per anomaly. Dumps are capped and rate
+// limited: an anomaly storm produces a handful of bundles, not a full
+// disk.
+
+// Anomaly classifies what tripped the recorder.
+type Anomaly string
+
+const (
+	// AnomalyFrameLoss: the stream's sink audit saw a lost, duplicated, or
+	// out-of-order frame.
+	AnomalyFrameLoss Anomaly = "frame_loss"
+	// AnomalyDeadline: a remap missed its deadline and rolled back.
+	AnomalyDeadline Anomaly = "remap_deadline"
+	// AnomalyRollback: a remap rolled back for a non-deadline reason
+	// (beyond-budget fault set, canceled solve).
+	AnomalyRollback Anomaly = "remap_rollback"
+	// AnomalySolverBug: a solver returned an invalid pipeline that the
+	// certificate check caught.
+	AnomalySolverBug Anomaly = "solver_bug"
+	// AnomalyBudget: a solve exhausted its node budget (verdict Unknown).
+	AnomalyBudget Anomaly = "budget_exhausted"
+	// AnomalyInvariant: a chaos soak invariant check failed.
+	AnomalyInvariant Anomaly = "invariant_violation"
+)
+
+// Dump is the self-contained flight-recorder bundle written per anomaly.
+// Everything a post-mortem needs is inline: the span window around the
+// anomaly, the full metric snapshot, and the counter deltas since the last
+// dump (or since arming, for the first).
+type Dump struct {
+	Version   int       `json:"version"`
+	Kind      Anomaly   `json:"kind"`
+	Detail    string    `json:"detail,omitempty"`
+	WrittenAt time.Time `json:"written_at"`
+	// Seq numbers dumps within one armed session, starting at 1.
+	Seq int `json:"seq"`
+	// Spans is the tracer ring at trip time, oldest first.
+	Spans []Span `json:"spans"`
+	// SpansDropped counts spans evicted from the ring before the trip.
+	SpansDropped uint64 `json:"spans_dropped,omitempty"`
+	// Metrics is the full obs registry snapshot at trip time.
+	Metrics obs.Snapshot `json:"metrics"`
+	// CounterDeltas holds every counter that moved since the previous dump
+	// (or since Arm), keyed by canonical instrument identity.
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+}
+
+// RecorderConfig parameterizes Arm.
+type RecorderConfig struct {
+	// Dir receives the dump files (created if missing). Required.
+	Dir string
+	// MaxDumps caps bundles per armed session (default 8).
+	MaxDumps int
+	// Cooldown is the minimum spacing between dumps (default 1s); trips
+	// inside the window are counted but not dumped.
+	Cooldown time.Duration
+	// Tracer and Registry default to span.Default() and obs.Default().
+	Tracer   *Tracer
+	Registry *obs.Registry
+}
+
+// Recorder is the armed/disarmed anomaly dumper. The zero value is
+// disarmed; Trip on a disarmed recorder is one atomic load.
+type Recorder struct {
+	armed atomic.Bool
+
+	mu           sync.Mutex
+	cfg          RecorderConfig
+	dumps        int
+	suppressed   int
+	lastDump     time.Time
+	lastCounters map[string]int64
+}
+
+var defaultRecorder = &Recorder{}
+
+// DefaultRecorder returns the process-wide recorder the trip points use.
+func DefaultRecorder() *Recorder { return defaultRecorder }
+
+// Trip reports an anomaly to the default recorder. detail is free-form
+// context ("node=5 err=..."). It returns the dump path when a bundle was
+// written ("" when disarmed, rate-limited, or capped).
+func Trip(kind Anomaly, detail string) string { return defaultRecorder.Trip(kind, detail) }
+
+// Arm enables dumping: the directory is created, the dump counter reset,
+// and the counter baseline (for deltas) captured. Arming also enables the
+// recorder's tracer — a flight recorder without spans records nothing
+// worth reading.
+func (r *Recorder) Arm(cfg RecorderConfig) error {
+	if cfg.Dir == "" {
+		return fmt.Errorf("span: flight recorder needs a directory")
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 8
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = Default()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("span: flight recorder dir: %w", err)
+	}
+	cfg.Tracer.SetEnabled(true)
+	r.mu.Lock()
+	r.cfg = cfg
+	r.dumps = 0
+	r.suppressed = 0
+	r.lastDump = time.Time{}
+	r.lastCounters = r.cfg.Registry.Snapshot().Counters
+	r.mu.Unlock()
+	r.armed.Store(true)
+	return nil
+}
+
+// Disarm stops dumping (the trip points go back to one atomic load).
+func (r *Recorder) Disarm() { r.armed.Store(false) }
+
+// Armed reports whether trips produce dumps.
+func (r *Recorder) Armed() bool { return r.armed.Load() }
+
+// Dumps returns how many bundles were written and how many trips were
+// suppressed (cooldown or cap) since arming.
+func (r *Recorder) Dumps() (written, suppressed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dumps, r.suppressed
+}
+
+// Trip reports an anomaly: when armed and outside the cooldown window, the
+// current span ring and metric snapshot are bundled and written. Returns
+// the path of the written bundle, or "".
+func (r *Recorder) Trip(kind Anomaly, detail string) string {
+	if !r.armed.Load() {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	if r.dumps >= r.cfg.MaxDumps || (!r.lastDump.IsZero() && now.Sub(r.lastDump) < r.cfg.Cooldown) {
+		r.suppressed++
+		return ""
+	}
+	snap := r.cfg.Registry.Snapshot()
+	deltas := make(map[string]int64)
+	for k, v := range snap.Counters {
+		if d := v - r.lastCounters[k]; d != 0 {
+			deltas[k] = d
+		}
+	}
+	r.lastCounters = snap.Counters
+	r.dumps++
+	r.lastDump = now
+	d := Dump{
+		Version:       1,
+		Kind:          kind,
+		Detail:        detail,
+		WrittenAt:     now,
+		Seq:           r.dumps,
+		Spans:         r.cfg.Tracer.Snapshot(),
+		SpansDropped:  r.cfg.Tracer.Dropped(),
+		Metrics:       snap,
+		CounterDeltas: deltas,
+	}
+	path := filepath.Join(r.cfg.Dir, fmt.Sprintf("flight-%03d-%s.json", r.dumps, kind))
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return ""
+	}
+	return path
+}
+
+// ReadDump parses a flight-recorder bundle.
+func ReadDump(path string) (*Dump, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("span: parsing dump %s: %w", path, err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,82 @@
+package span
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gdpn/internal/obs"
+)
+
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(32)
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("bugs_total").Add(2)
+
+	rec := &Recorder{}
+	if got := rec.Trip(AnomalyDeadline, "disarmed"); got != "" {
+		t.Fatalf("disarmed Trip wrote %q", got)
+	}
+	if err := rec.Arm(RecorderConfig{Dir: dir, Tracer: tr, Registry: reg, Cooldown: time.Nanosecond}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Enabled() {
+		t.Fatal("arming did not enable the tracer")
+	}
+
+	root := tr.Start(nil, "remap").SetStr("op", "inject")
+	tr.Start(root, "solve").End(Deadline)
+	root.End(Rollback)
+	reg.Counter("bugs_total").Add(3)
+
+	path := rec.Trip(AnomalyDeadline, "node=5")
+	if path == "" {
+		t.Fatal("armed Trip wrote nothing")
+	}
+	d, err := ReadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != AnomalyDeadline || d.Detail != "node=5" || d.Seq != 1 {
+		t.Errorf("dump header wrong: %+v", d)
+	}
+	if len(d.Spans) != 2 {
+		t.Fatalf("dump has %d spans, want 2", len(d.Spans))
+	}
+	if d.Spans[1].Name != "remap" || d.Spans[0].Parent != d.Spans[1].ID {
+		t.Errorf("dump span links wrong: %+v", d.Spans)
+	}
+	// Counter delta is relative to the baseline captured at Arm (the +2
+	// predates arming; only the +3 moved since).
+	if d.CounterDeltas["bugs_total"] != 3 {
+		t.Errorf("counter delta = %d, want 3", d.CounterDeltas["bugs_total"])
+	}
+	if d.Metrics.Counters["bugs_total"] != 5 {
+		t.Errorf("snapshot counter = %d, want 5", d.Metrics.Counters["bugs_total"])
+	}
+}
+
+func TestFlightRecorderCapAndCooldown(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(8)
+	rec := &Recorder{}
+	if err := rec.Arm(RecorderConfig{Dir: dir, Tracer: tr, Registry: obs.NewRegistry(), MaxDumps: 2, Cooldown: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	first := rec.Trip(AnomalyFrameLoss, "")
+	if first == "" {
+		t.Fatal("first trip suppressed")
+	}
+	if got := rec.Trip(AnomalyFrameLoss, ""); got != "" {
+		t.Fatalf("cooldown did not suppress: %q", got)
+	}
+	written, suppressed := rec.Dumps()
+	if written != 1 || suppressed != 1 {
+		t.Errorf("written=%d suppressed=%d, want 1/1", written, suppressed)
+	}
+	if want := filepath.Join(dir, "flight-001-frame_loss.json"); first != want {
+		t.Errorf("dump path = %q, want %q", first, want)
+	}
+}

@@ -1,0 +1,40 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler serves the finished-span ring (conventionally at /debug/spans):
+// one line per span oldest-first, `?format=json` for the machine form —
+// the same []Span schema a flight-recorder dump embeds, so gdptrace
+// renders both.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		spans := t.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, sp := range spans {
+			fmt.Fprintln(w, formatSpanLine(sp))
+		}
+	})
+}
+
+// formatSpanLine renders one span as a text line:
+//
+//	+1.234s  remap        12<-0   3.2ms  rollback  op=inject node=5
+func formatSpanLine(sp Span) string {
+	line := fmt.Sprintf("+%-12v %-14s %d<-%d %10v  %-8s",
+		sp.Start.Round(time.Microsecond), sp.Name, sp.ID, sp.Parent,
+		sp.Duration().Round(time.Microsecond), sp.Status)
+	for _, a := range sp.Attrs {
+		line += fmt.Sprintf(" %s=%s", a.Key, a.Value())
+	}
+	return line
+}

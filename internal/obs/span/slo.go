@@ -1,0 +1,326 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdpn/internal/obs"
+)
+
+// The SLO/health layer: named rolling-latency objectives ("remap" p99 vs
+// a configured bound, "solve" p99 for verification runs), a per-node-class
+// availability ledger fed by the reconfiguration manager, and the current
+// degradation level (faults in flight vs the design budget k). Everything
+// is exported twice: as gauges on the obs registry (so /metrics carries
+// slo_p99_ns, slo_objective_ns, slo_breached, slo_degradation_level,
+// slo_availability_ppm) and as a structured JSON health document on the
+// /slo endpoint, whose `ok` field is what CI and the nightly soak gate on.
+//
+// Like the tracer, a disabled SLO costs its callers one atomic load per
+// Observe/NodeDown/NodeUp call.
+
+// sloWindow is the rolling sample window per objective; p99 over the last
+// 1024 observations tracks "current" latency rather than lifetime.
+const sloWindow = 1024
+
+// objective is one named rolling-latency series with an optional target.
+type objective struct {
+	target time.Duration
+	ring   [sloWindow]int64
+	count  int64 // total observations; ring index = count % sloWindow
+	worst  time.Duration
+}
+
+// p99 computes the 99th percentile over the buffered window.
+func (o *objective) p99() time.Duration {
+	n := int(o.count)
+	if n > sloWindow {
+		n = sloWindow
+	}
+	if n == 0 {
+		return 0
+	}
+	buf := make([]int64, n)
+	copy(buf, o.ring[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (n*99 + 99) / 100 // ceil(n*0.99)
+	if idx >= n {
+		idx = n - 1
+	}
+	return time.Duration(buf[idx])
+}
+
+// classState is the availability ledger for one node class.
+type classState struct {
+	nodes       int
+	downNow     int
+	transitions int64
+	downtime    time.Duration // node-seconds of accumulated downtime
+	lastChange  time.Time
+}
+
+// integrate folds the time since the last transition into the ledger.
+func (c *classState) integrate(now time.Time) {
+	if c.downNow > 0 && !c.lastChange.IsZero() {
+		c.downtime += time.Duration(c.downNow) * now.Sub(c.lastChange)
+	}
+	c.lastChange = now
+}
+
+// SLO is the health tracker. The zero value is disabled; use NewSLO or
+// DefaultSLO.
+type SLO struct {
+	enabled atomic.Bool
+	epoch   time.Time
+	reg     *obs.Registry
+
+	mu         sync.Mutex
+	objectives map[string]*objective
+	classes    map[string]*classState
+	degCur     int
+	degBudget  int
+}
+
+// NewSLO returns a disabled tracker exporting gauges on reg (nil =
+// obs.Default()).
+func NewSLO(reg *obs.Registry) *SLO {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &SLO{
+		epoch:      time.Now(),
+		reg:        reg,
+		objectives: map[string]*objective{},
+		classes:    map[string]*classState{},
+	}
+}
+
+var defaultSLO = NewSLO(nil)
+
+// DefaultSLO returns the process-wide tracker shared by the instrumented
+// packages and the CLIs.
+func DefaultSLO() *SLO { return defaultSLO }
+
+// SetEnabled turns the tracker on or off.
+func (s *SLO) SetEnabled(on bool) { s.enabled.Store(on) }
+
+// Enabled reports whether observations are being recorded.
+func (s *SLO) Enabled() bool { return s.enabled.Load() }
+
+// SetObjective sets the p99 target for the named series (0 = track the
+// latency but never breach). Setting an objective enables the tracker.
+func (s *SLO) SetObjective(name string, target time.Duration) {
+	s.mu.Lock()
+	s.series(name).target = target
+	s.mu.Unlock()
+	s.enabled.Store(true)
+	if target > 0 {
+		s.reg.Gauge("slo_objective_ns", obs.L("objective", name)).Set(int64(target))
+	}
+}
+
+// series returns (creating) the named objective; callers hold s.mu.
+func (s *SLO) series(name string) *objective {
+	o, ok := s.objectives[name]
+	if !ok {
+		o = &objective{}
+		s.objectives[name] = o
+	}
+	return o
+}
+
+// Observe records one latency sample on the named series (no-op when
+// disabled). The series' rolling p99 is re-exported as slo_p99_ns.
+func (s *SLO) Observe(name string, d time.Duration) {
+	if !s.enabled.Load() {
+		return
+	}
+	s.mu.Lock()
+	o := s.series(name)
+	o.ring[o.count%sloWindow] = int64(d)
+	o.count++
+	if d > o.worst {
+		o.worst = d
+	}
+	p99 := o.p99()
+	target := o.target
+	s.mu.Unlock()
+	s.reg.Gauge("slo_p99_ns", obs.L("objective", name)).Set(int64(p99))
+	if target > 0 {
+		breached := int64(0)
+		if p99 > target {
+			breached = 1
+		}
+		s.reg.Gauge("slo_breached", obs.L("objective", name)).Set(breached)
+	}
+}
+
+// RegisterClass declares a node class of the given size for the
+// availability ledger; availability is downtime over nodes × elapsed.
+func (s *SLO) RegisterClass(class string, nodes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.classes[class]
+	if !ok {
+		c = &classState{lastChange: time.Now()}
+		s.classes[class] = c
+	}
+	c.nodes = nodes
+}
+
+// NodeDown records one node of the class going down (no-op when disabled).
+func (s *SLO) NodeDown(class string) { s.nodeTransition(class, +1) }
+
+// NodeUp records one node of the class recovering (no-op when disabled).
+func (s *SLO) NodeUp(class string) { s.nodeTransition(class, -1) }
+
+func (s *SLO) nodeTransition(class string, delta int) {
+	if !s.enabled.Load() {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	c, ok := s.classes[class]
+	if !ok {
+		c = &classState{lastChange: now}
+		s.classes[class] = c
+	}
+	c.integrate(now)
+	c.downNow += delta
+	if c.downNow < 0 {
+		c.downNow = 0
+	}
+	c.transitions++
+	availPPM := availabilityPPM(c, s.epoch, now)
+	down := c.downNow
+	s.mu.Unlock()
+	s.reg.Gauge("slo_nodes_down", obs.L("class", class)).Set(int64(down))
+	s.reg.Gauge("slo_availability_ppm", obs.L("class", class)).Set(availPPM)
+}
+
+// SetDegradation records the current fault count against the design
+// budget k (no-op when disabled); exported as slo_degradation_level.
+func (s *SLO) SetDegradation(current, budget int) {
+	if !s.enabled.Load() {
+		return
+	}
+	s.mu.Lock()
+	s.degCur, s.degBudget = current, budget
+	s.mu.Unlock()
+	s.reg.Gauge("slo_degradation_level").Set(int64(current))
+	s.reg.Gauge("slo_degradation_budget").Set(int64(budget))
+}
+
+// availabilityPPM computes parts-per-million availability for one class
+// over [epoch, now]: 1e6 × (1 − downtime / (nodes × elapsed)).
+func availabilityPPM(c *classState, epoch, now time.Time) int64 {
+	if c.nodes <= 0 {
+		return 1_000_000
+	}
+	elapsed := now.Sub(epoch)
+	if elapsed <= 0 {
+		return 1_000_000
+	}
+	down := c.downtime
+	if c.downNow > 0 {
+		down += time.Duration(c.downNow) * now.Sub(c.lastChange)
+	}
+	frac := float64(down) / (float64(c.nodes) * float64(elapsed))
+	ppm := int64((1 - frac) * 1e6)
+	if ppm < 0 {
+		ppm = 0
+	}
+	return ppm
+}
+
+// ObjectiveHealth is one series' health in a snapshot.
+type ObjectiveHealth struct {
+	Name      string        `json:"name"`
+	Count     int64         `json:"count"`
+	P99       time.Duration `json:"p99_ns"`
+	Worst     time.Duration `json:"worst_ns"`
+	Objective time.Duration `json:"objective_ns,omitempty"`
+	Breached  bool          `json:"breached,omitempty"`
+}
+
+// ClassHealth is one node class's availability in a snapshot.
+type ClassHealth struct {
+	Class           string        `json:"class"`
+	Nodes           int           `json:"nodes"`
+	DownNow         int           `json:"down_now"`
+	Transitions     int64         `json:"transitions"`
+	Downtime        time.Duration `json:"downtime_ns"`
+	AvailabilityPPM int64         `json:"availability_ppm"`
+}
+
+// HealthSnapshot is the JSON document served at /slo.
+type HealthSnapshot struct {
+	OK                bool              `json:"ok"`
+	Objectives        []ObjectiveHealth `json:"objectives,omitempty"`
+	Availability      []ClassHealth     `json:"availability,omitempty"`
+	DegradationLevel  int               `json:"degradation_level"`
+	DegradationBudget int               `json:"degradation_budget"`
+	Elapsed           time.Duration     `json:"elapsed_ns"`
+}
+
+// Snapshot returns the current health document. OK is false iff some
+// objective with a target is currently breached.
+func (s *SLO) Snapshot() HealthSnapshot {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := HealthSnapshot{
+		OK:                true,
+		DegradationLevel:  s.degCur,
+		DegradationBudget: s.degBudget,
+		Elapsed:           now.Sub(s.epoch),
+	}
+	for name, o := range s.objectives {
+		oh := ObjectiveHealth{
+			Name: name, Count: o.count, P99: o.p99(), Worst: o.worst, Objective: o.target,
+		}
+		if o.target > 0 && oh.P99 > o.target {
+			oh.Breached = true
+			h.OK = false
+		}
+		h.Objectives = append(h.Objectives, oh)
+	}
+	sort.Slice(h.Objectives, func(i, j int) bool { return h.Objectives[i].Name < h.Objectives[j].Name })
+	for class, c := range s.classes {
+		h.Availability = append(h.Availability, ClassHealth{
+			Class: class, Nodes: c.nodes, DownNow: c.downNow, Transitions: c.transitions,
+			Downtime:        c.downtime,
+			AvailabilityPPM: availabilityPPM(c, s.epoch, now),
+		})
+	}
+	sort.Slice(h.Availability, func(i, j int) bool { return h.Availability[i].Class < h.Availability[j].Class })
+	return h
+}
+
+// Breaches lists the objectives currently over their target, rendered as
+// "name: p99 12ms > objective 5ms" lines; empty means every SLO holds.
+func (s *SLO) Breaches() []string {
+	var out []string
+	for _, o := range s.Snapshot().Objectives {
+		if o.Breached {
+			out = append(out, fmt.Sprintf("%s: p99 %v > objective %v (worst %v over %d samples)",
+				o.Name, o.P99, o.Objective, o.Worst, o.Count))
+		}
+	}
+	return out
+}
+
+// Handler serves the health document as JSON (conventionally at /slo).
+func (s *SLO) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Snapshot())
+	})
+}

@@ -1,0 +1,117 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gdpn/internal/obs"
+)
+
+func TestSLOObjectiveBreach(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	s := NewSLO(reg)
+	s.SetObjective("remap", 10*time.Millisecond)
+	if !s.Enabled() {
+		t.Fatal("SetObjective did not enable the tracker")
+	}
+
+	for i := 0; i < 100; i++ {
+		s.Observe("remap", time.Millisecond)
+	}
+	if br := s.Breaches(); len(br) != 0 {
+		t.Fatalf("unexpected breach: %v", br)
+	}
+	// Push the p99 over the objective: > 1% of the window slow.
+	for i := 0; i < 10; i++ {
+		s.Observe("remap", 50*time.Millisecond)
+	}
+	br := s.Breaches()
+	if len(br) != 1 {
+		t.Fatalf("breaches = %v, want 1", br)
+	}
+	snap := s.Snapshot()
+	if snap.OK {
+		t.Error("snapshot OK despite breach")
+	}
+	if len(snap.Objectives) != 1 || !snap.Objectives[0].Breached {
+		t.Errorf("objective health wrong: %+v", snap.Objectives)
+	}
+	if g := reg.Gauge("slo_breached", obs.L("objective", "remap")).Value(); g != 1 {
+		t.Errorf("slo_breached gauge = %d, want 1", g)
+	}
+	if g := reg.Gauge("slo_p99_ns", obs.L("objective", "remap")).Value(); g < int64(10*time.Millisecond) {
+		t.Errorf("slo_p99_ns gauge = %d, want above objective", g)
+	}
+}
+
+func TestSLODisabledIsNoop(t *testing.T) {
+	s := NewSLO(obs.NewRegistry())
+	s.Observe("remap", time.Hour)
+	s.NodeDown("proc")
+	s.SetDegradation(3, 4)
+	snap := s.Snapshot()
+	if len(snap.Objectives) != 0 || snap.DegradationLevel != 0 {
+		t.Errorf("disabled tracker recorded: %+v", snap)
+	}
+}
+
+func TestSLOAvailabilityLedger(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	s := NewSLO(reg)
+	s.SetEnabled(true)
+	s.RegisterClass("proc", 10)
+
+	s.NodeDown("proc")
+	time.Sleep(5 * time.Millisecond)
+	s.NodeUp("proc")
+
+	snap := s.Snapshot()
+	if len(snap.Availability) != 1 {
+		t.Fatalf("availability classes = %d, want 1", len(snap.Availability))
+	}
+	c := snap.Availability[0]
+	if c.Class != "proc" || c.Nodes != 10 || c.DownNow != 0 || c.Transitions != 2 {
+		t.Errorf("class health wrong: %+v", c)
+	}
+	if c.Downtime < 4*time.Millisecond {
+		t.Errorf("downtime = %v, want >= ~5ms", c.Downtime)
+	}
+	if c.AvailabilityPPM >= 1_000_000 || c.AvailabilityPPM <= 0 {
+		t.Errorf("availability = %d ppm, want in (0, 1e6)", c.AvailabilityPPM)
+	}
+}
+
+func TestSLODegradationGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	s := NewSLO(reg)
+	s.SetEnabled(true)
+	s.SetDegradation(2, 4)
+	if g := reg.Gauge("slo_degradation_level").Value(); g != 2 {
+		t.Errorf("degradation gauge = %d, want 2", g)
+	}
+	snap := s.Snapshot()
+	if snap.DegradationLevel != 2 || snap.DegradationBudget != 4 {
+		t.Errorf("snapshot degradation = %d/%d", snap.DegradationLevel, snap.DegradationBudget)
+	}
+}
+
+func TestSLOHandler(t *testing.T) {
+	s := NewSLO(obs.NewRegistry())
+	s.SetObjective("solve", time.Second)
+	s.Observe("solve", time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	var snap HealthSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("handler JSON: %v", err)
+	}
+	if !snap.OK || len(snap.Objectives) != 1 || snap.Objectives[0].Name != "solve" {
+		t.Errorf("handler snapshot wrong: %+v", snap)
+	}
+}

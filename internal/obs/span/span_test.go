@@ -1,0 +1,197 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeLinks(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetEnabled(true)
+
+	root := tr.Start(nil, "remap").SetStr("op", "inject").SetInt("node", 5)
+	child := tr.Start(root, "solve").SetInt("expansions", 123)
+	grand := tr.Start(child, "attempt")
+	grand.End(OK)
+	child.End(Deadline)
+	root.End(Rollback)
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Pushed in End order: grand, child, root.
+	g, c, r := spans[0], spans[1], spans[2]
+	if r.Parent != 0 || r.Trace != r.ID {
+		t.Errorf("root links wrong: parent=%d trace=%d id=%d", r.Parent, r.Trace, r.ID)
+	}
+	if c.Parent != r.ID || c.Trace != r.ID {
+		t.Errorf("child links wrong: parent=%d trace=%d rootID=%d", c.Parent, c.Trace, r.ID)
+	}
+	if g.Parent != c.ID || g.Trace != r.ID {
+		t.Errorf("grandchild links wrong: parent=%d trace=%d", g.Parent, g.Trace)
+	}
+	if v, ok := r.Attr("node"); !ok || v != "5" {
+		t.Errorf("node attr = %q, %v", v, ok)
+	}
+	if r.Status != Rollback || c.Status != Deadline || g.Status != OK {
+		t.Errorf("statuses wrong: %v %v %v", r.Status, c.Status, g.Status)
+	}
+	if c.Start < r.Start || c.End > r.End {
+		t.Errorf("child [%v,%v] outside root [%v,%v]", c.Start, c.End, r.Start, r.End)
+	}
+}
+
+func TestDisabledTracerIsNoop(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start(nil, "x")
+	if sp != nil {
+		t.Fatalf("disabled Start returned non-nil")
+	}
+	// Every method must tolerate the nil handle.
+	sp.SetStr("k", "v").SetInt("i", 1)
+	sp.Eventf("e", "f=%d", 1)
+	sp.End(OK)
+	if sp.ID() != 0 {
+		t.Errorf("nil handle ID = %d", sp.ID())
+	}
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		tr.Start(nil, fmt.Sprintf("s%d", i)).End(OK)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); sp.Name != want {
+			t.Errorf("spans[%d] = %s, want %s (oldest-first after eviction)", i, sp.Name, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+// TestConcurrentWriters hammers the ring from many goroutines while
+// Snapshot and the HTTP handler read it — the -race gate for the
+// satellite requirement.
+func TestConcurrentWriters(t *testing.T) {
+	tr := NewTracer(128)
+	tr.SetEnabled(true)
+	h := tr.Handler()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				root := tr.Start(nil, "work").SetInt("worker", int64(w))
+				child := tr.Start(root, "phase")
+				child.Eventf("tick", "i=%d", i)
+				child.End(OK)
+				root.End(OK)
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Snapshot()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?format=json", nil))
+			var spans []Span
+			if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+				t.Errorf("handler JSON: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	spans := tr.Snapshot()
+	if len(spans) != 128 {
+		t.Fatalf("ring holds %d, want 128", len(spans))
+	}
+	// Every child's parent must be a plausible ID (concurrent pushes must
+	// not corrupt entries).
+	for _, sp := range spans {
+		if sp.ID == 0 || (sp.Name == "phase" && sp.Parent == 0) {
+			t.Fatalf("corrupt span: %+v", sp)
+		}
+	}
+}
+
+func TestStatusJSONRoundTrip(t *testing.T) {
+	for st := OK; st <= Errored; st++ {
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Status
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != st {
+			t.Errorf("round trip %v -> %s -> %v", st, b, got)
+		}
+	}
+	var unknown Status
+	if err := json.Unmarshal([]byte(`"from_the_future"`), &unknown); err != nil || unknown != Errored {
+		t.Errorf("unknown status: %v %v", unknown, err)
+	}
+}
+
+func TestHandlerTextFormat(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	sp := tr.Start(nil, "remap").SetStr("op", "inject")
+	time.Sleep(time.Millisecond)
+	sp.End(OK)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "remap") || !strings.Contains(body, "op=inject") {
+		t.Errorf("text handler output missing span line: %q", body)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	sp := tr.Start(nil, "soak")
+	sp.Eventf("fault", "node=%d", 3)
+	sp.Eventf("repair", "node=%d", 3)
+	sp.End(OK)
+	spans := tr.Snapshot()
+	if len(spans) != 1 || len(spans[0].Events) != 2 {
+		t.Fatalf("events not recorded: %+v", spans)
+	}
+	if spans[0].Events[0].Name != "fault" || spans[0].Events[0].Fields != "node=3" {
+		t.Errorf("event content wrong: %+v", spans[0].Events[0])
+	}
+}

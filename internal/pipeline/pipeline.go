@@ -20,6 +20,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,7 @@ import (
 	"gdpn/internal/embed"
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
+	"gdpn/internal/obs/span"
 	"gdpn/internal/reconfig"
 	"gdpn/internal/stages"
 )
@@ -169,24 +171,91 @@ func (e *Engine) Inject(node int) error {
 }
 
 // applyFault performs the fault injection on a quiesced engine (no frames
-// in flight): epoch-mode callers come here directly, a Stream's pump after
-// draining its chain.
+// in flight): epoch-mode callers come here directly; a Stream's pump goes
+// through applyRemap under its own root span after draining its chain.
 func (e *Engine) applyFault(node int) error {
 	start := time.Now()
-	if _, err := e.mgr.Fault(node); err != nil {
+	root := startRemapSpan("inject", "epoch", node)
+	err := e.applyRemap(false, node, root)
+	finishRemapSpan(root, start, err)
+	return err
+}
+
+// applyRepair performs the repair on a quiesced engine; see applyFault.
+func (e *Engine) applyRepair(node int) error {
+	start := time.Now()
+	root := startRemapSpan("repair", "epoch", node)
+	err := e.applyRemap(true, node, root)
+	finishRemapSpan(root, start, err)
+	return err
+}
+
+// applyRemap runs the fault or repair on the quiesced engine under root
+// (the causal parent of the manager's detect/plan/solve/audit phase spans;
+// nil outside traced runs) and updates the engine's remap metrics.
+func (e *Engine) applyRemap(repair bool, node int, root *span.S) error {
+	start := time.Now()
+	e.mgr.SetActiveSpan(root)
+	var err error
+	if repair {
+		_, err = e.mgr.Repair(node)
+	} else {
+		_, err = e.mgr.Fault(node)
+	}
+	e.mgr.SetActiveSpan(nil)
+	if err != nil {
 		return fmt.Errorf("pipeline: %w", err)
 	}
 	elapsed := time.Since(start)
 	e.mu.Lock()
 	e.m.RemapTime += elapsed
-	e.m.FaultsInjected++
+	if !repair {
+		e.m.FaultsInjected++
+	}
 	e.m.Remaps++
 	e.m.Repairs = e.mgr.Stats()
 	e.mu.Unlock()
 	e.assignStages()
-	e.remapLat[opInject].ObserveDuration(elapsed)
+	op := opInject
+	if repair {
+		op = opRepair
+	}
+	e.remapLat[op].ObserveDuration(elapsed)
 	e.procsInUse.Set(int64(e.ProcessorsInUse()))
 	return nil
+}
+
+// startRemapSpan opens the root span of one remap (nil when tracing is
+// off). op is "inject" or "repair"; mode is "epoch" (quiesced engine) or
+// "stream" (live drain/requeue around the remap).
+func startRemapSpan(op, mode string, node int) *span.S {
+	return span.Start(nil, "remap").
+		SetStr("op", op).SetStr("mode", mode).SetInt("node", int64(node))
+}
+
+// finishRemapSpan ends a root remap span with the status and cancellation
+// reason derived from err, feeds the SLO remap-latency objective, and —
+// after the span is in the ring, so a dump contains the whole tree —
+// trips the flight recorder on deadline misses and rollbacks. Deliberate
+// cancellations (shutdown) are not anomalies and do not trip.
+func finishRemapSpan(root *span.S, start time.Time, err error) {
+	st, reason := reconfig.RemapStatus(err)
+	if reason != "" {
+		root.SetStr("cancel_reason", reason)
+	}
+	root.End(st)
+	if slo := span.DefaultSLO(); slo.Enabled() {
+		slo.Observe("remap", time.Since(start))
+	}
+	switch {
+	case err == nil || errors.Is(err, embed.ErrCanceled):
+	case errors.Is(err, reconfig.ErrDeadline) || errors.Is(err, embed.ErrDeadline):
+		span.Trip(span.AnomalyDeadline, err.Error())
+	case errors.Is(err, embed.ErrBudget):
+		span.Trip(span.AnomalyBudget, err.Error())
+	default:
+		span.Trip(span.AnomalyRollback, err.Error())
+	}
 }
 
 // Repair marks a node healthy again and reinstates it in the pipeline.
@@ -196,24 +265,6 @@ func (e *Engine) Repair(node int) error {
 		return s.remap(true, node)
 	}
 	return e.applyRepair(node)
-}
-
-// applyRepair performs the repair on a quiesced engine; see applyFault.
-func (e *Engine) applyRepair(node int) error {
-	start := time.Now()
-	if _, err := e.mgr.Repair(node); err != nil {
-		return fmt.Errorf("pipeline: %w", err)
-	}
-	elapsed := time.Since(start)
-	e.mu.Lock()
-	e.m.RemapTime += elapsed
-	e.m.Remaps++
-	e.m.Repairs = e.mgr.Stats()
-	e.mu.Unlock()
-	e.assignStages()
-	e.remapLat[opRepair].ObserveDuration(elapsed)
-	e.procsInUse.Set(int64(e.ProcessorsInUse()))
-	return nil
 }
 
 // assignStages redistributes the logical stages contiguously over the

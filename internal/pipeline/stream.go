@@ -2,10 +2,13 @@ package pipeline
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gdpn/internal/obs/span"
 )
 
 // This file is the continuous-streaming runtime: unlike Process, which
@@ -266,6 +269,9 @@ func (s *Stream) run() {
 	// Anything still expected was never delivered: lost (zero when clean).
 	s.lost.Add(int64(len(s.expect)))
 	s.e.frameLoss.Set(int64(len(s.expect)))
+	if n := len(s.expect); n > 0 {
+		span.Trip(span.AnomalyFrameLoss, fmt.Sprintf("stream closed with %d undelivered frames", n))
+	}
 	close(s.outc)
 }
 
@@ -274,8 +280,15 @@ func (s *Stream) run() {
 func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	e := s.e
 	start := time.Now()
+	op := "inject"
+	if req.repair {
+		op = "repair"
+	}
+	root := startRemapSpan(op, "stream", req.node)
 	// 1. Drain: stop processing and flush every in-flight token out of the
 	// old mapping with its progress recorded.
+	drain := span.Start(root, "drain")
+	drained := *inflight
 	c.draining.Store(true)
 	close(c.head)
 	var requeue []token
@@ -290,28 +303,31 @@ func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	// Tokens leave the chain oldest-first already; sort defensively — the
 	// requeue MUST resume in submission order or stateful stages corrupt.
 	sort.Slice(requeue, func(i, j int) bool { return requeue[i].seq < requeue[j].seq })
+	drain.SetInt("inflight", int64(drained)).SetInt("unfinished", int64(len(requeue)))
+	drain.End(span.OK)
 	// 2. Remap on the quiesced engine. On error (deadline rollback,
 	// beyond-budget fault) the previous mapping is still in place and the
 	// chain below simply restarts over it.
-	var err error
-	if req.repair {
-		err = e.applyRepair(req.node)
-	} else {
-		err = e.applyFault(req.node)
-	}
+	err := e.applyRemap(req.repair, req.node, root)
 	if err != nil {
 		s.remapFailures.Add(1)
 	} else {
 		s.remaps.Add(1)
 	}
 	// 3. Requeue unfinished frames ahead of the backlog.
+	rq := span.Start(root, "requeue")
 	if len(requeue) > 0 {
 		s.pending = append(requeue, s.pending...)
 		s.requeued.Add(int64(len(requeue)))
 		e.framesRequeued.Add(int64(len(requeue)))
 	}
+	rq.SetInt("frames", int64(len(requeue)))
+	rq.End(span.OK)
 	// 4. Rebuild the chain over the (possibly rolled-back) mapping.
+	rw := span.Start(root, "rewire")
 	nc := e.newChain()
+	rw.SetInt("positions", int64(len(e.assign)))
+	rw.End(span.OK)
 	d := time.Since(start)
 	s.totalDowntimeNS.Add(int64(d))
 	for {
@@ -323,7 +339,13 @@ func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	e.remapDowntime.ObserveDuration(d)
 	// With the chain empty every undelivered frame must be queued; the
 	// difference is the loss gauge, and it must read zero.
-	e.frameLoss.Set(int64(len(s.expect) - len(s.pending)))
+	loss := int64(len(s.expect) - len(s.pending))
+	e.frameLoss.Set(loss)
+	root.SetInt("downtime_ns", int64(d))
+	finishRemapSpan(root, start, err)
+	if loss > 0 {
+		span.Trip(span.AnomalyFrameLoss, fmt.Sprintf("remap audit: %d frames unaccounted for", loss))
+	}
 	req.reply <- err
 	return nc
 }
@@ -345,9 +367,11 @@ func (s *Stream) emit(t token) {
 		}
 		s.expect = s.expect[1:]
 		s.lost.Add(1)
+		span.Trip(span.AnomalyFrameLoss, fmt.Sprintf("sink audit: gap before seq %d", t.seq))
 	}
 	if !matched {
 		s.duplicated.Add(1)
+		span.Trip(span.AnomalyFrameLoss, fmt.Sprintf("sink audit: unmatched arrival seq %d", t.seq))
 	}
 	s.delivered.Add(1)
 	s.e.frames.Add(1)

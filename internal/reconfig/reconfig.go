@@ -28,6 +28,7 @@ import (
 	"gdpn/internal/embed"
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
+	"gdpn/internal/obs/span"
 	"gdpn/internal/verify"
 )
 
@@ -105,6 +106,9 @@ type Manager struct {
 	faults bitset.Set
 	path   graph.Path
 	stats  Stats
+	// k is the design fault budget of the solution this manager guards;
+	// the SLO degradation gauge reports faults-in-flight against it.
+	k int
 
 	// deadline bounds each repair's full-remap solve (0 = unbounded); see
 	// SetDeadline. downtime/rollbacks feed DowntimeStats.
@@ -119,8 +123,18 @@ type Manager struct {
 	reg          *obs.Registry
 	repairLat    [FullRemap + 1]*obs.Histogram // per-tactic repair latency
 	repairCount  [FullRemap + 1]*obs.Counter   // per-tactic repair counts
+	downtimeHist [FullRemap + 1]*obs.Histogram // per-tactic downtime ledger export
+	rollbackNum  *obs.Counter                  // rolled-back operations
+	rollbackHist *obs.Histogram                // time burnt on rolled-back attempts
 	certFailures *obs.Counter                  // invalid local repairs caught by the certificate check
 	fallbacks    *obs.Counter                  // local tactics exhausted → full recompute
+
+	// remapSpan is the causal parent for this remap's phase spans
+	// (detect/plan/solve/audit). The pipeline layer owns the root "remap"
+	// span and installs it via SetActiveSpan; remaps are serialized by the
+	// stream pump, so one slot suffices. nil (the common case outside
+	// traced runs) makes every phase span a no-op or a root.
+	remapSpan *span.S
 }
 
 // New computes the initial (fault-free) pipeline for a designed solution.
@@ -129,15 +143,25 @@ func New(sol *construct.Solution) (*Manager, error) {
 		g:      sol.Graph,
 		solver: embed.NewSolver(sol.Graph, embed.Options{Layout: sol.Layout}),
 		faults: bitset.New(sol.Graph.NumNodes()),
+		k:      sol.K,
 		reg:    obs.Default(),
 	}
 	for t := NoChange; t <= FullRemap; t++ {
 		lbl := obs.L("tactic", t.String())
 		m.repairLat[t] = m.reg.Histogram("reconfig_repair_ns", lbl)
 		m.repairCount[t] = m.reg.Counter("reconfig_repairs_total", lbl)
+		m.downtimeHist[t] = m.reg.Histogram("reconfig_downtime_ns", lbl)
 	}
+	m.rollbackNum = m.reg.Counter("reconfig_rollbacks_total")
+	m.rollbackHist = m.reg.Histogram("reconfig_rollback_ns")
 	m.certFailures = m.reg.Counter("reconfig_cert_failures_total")
 	m.fallbacks = m.reg.Counter("reconfig_full_remap_fallback_total")
+	if slo := span.DefaultSLO(); slo.Enabled() {
+		for _, kind := range []graph.Kind{graph.Processor, graph.InputTerminal, graph.OutputTerminal} {
+			slo.RegisterClass(kind.String(), m.g.CountKind(kind))
+		}
+		slo.SetDegradation(0, m.k)
+	}
 	if err := m.fullRemap(time.Now()); err != nil {
 		return nil, err
 	}
@@ -176,6 +200,39 @@ func (m *Manager) SetResources(r *embed.Resources) { m.res = r }
 // Resources returns the ambient token (nil when unset).
 func (m *Manager) Resources() *embed.Resources { return m.res }
 
+// SetActiveSpan installs the causal parent for the phase spans
+// (detect/plan/solve/audit) of subsequent Fault/Repair calls. The caller
+// that owns the root "remap" span — the pipeline layer — sets it before
+// each remap and clears it (nil) after. Remaps are serialized, so a
+// single slot suffices.
+func (m *Manager) SetActiveSpan(sp *span.S) { m.remapSpan = sp }
+
+// RemapStatus maps a Fault/Repair error to the span status and the
+// cancellation-reason attribute ("" = none) the remap's span should carry.
+func RemapStatus(err error) (span.Status, string) {
+	switch {
+	case err == nil:
+		return span.OK, ""
+	case errors.Is(err, ErrDeadline) || errors.Is(err, embed.ErrDeadline):
+		return span.Deadline, "deadline"
+	case errors.Is(err, embed.ErrCanceled):
+		return span.Canceled, "canceled"
+	case errors.Is(err, embed.ErrBudget):
+		return span.Rollback, "budget"
+	default:
+		return span.Rollback, ""
+	}
+}
+
+// endPhase finishes a phase span with the status/reason derived from err.
+func endPhase(sp *span.S, err error) {
+	st, reason := RemapStatus(err)
+	if reason != "" {
+		sp.SetStr("cancel_reason", reason)
+	}
+	sp.End(st)
+}
+
 // Downtime returns a copy of the per-tactic downtime ledger.
 func (m *Manager) Downtime() DowntimeStats {
 	ds := DowntimeStats{
@@ -204,6 +261,7 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 	start := time.Now() // always sampled: downtime accounting is not gated on obs
 	m.faults.Add(node)
 
+	detect := span.Start(m.remapSpan, "detect")
 	idx := -1
 	for i, v := range m.path {
 		if v == node {
@@ -211,31 +269,46 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 			break
 		}
 	}
+	detect.SetStr("op", "fault").SetInt("node", int64(node)).SetInt("path_idx", int64(idx))
+	detect.End(span.OK)
 	if idx == -1 {
 		// Not on the pipeline: only unused terminals qualify (every healthy
 		// processor is on the pipeline by definition).
 		m.stats.NoChange++
-		m.downtime[NoChange] += time.Since(start)
+		m.account(NoChange, start)
 		m.observeRepair(NoChange, start, node, observing)
+		m.markDown(node)
 		return NoChange, nil
 	}
 
+	plan := span.Start(m.remapSpan, "plan")
 	var tactic Tactic
 	var repaired graph.Path
 	switch {
 	case idx == 0 || idx == len(m.path)-1:
-		repaired, tactic = m.repairEndpoint(idx)
+		repaired, tactic = m.repairEndpoint(idx, plan)
 	default:
-		repaired, tactic = m.repairInterior(idx)
+		repaired, tactic = m.repairInterior(idx, plan)
 	}
 	if repaired != nil {
-		if verify.CheckPipeline(m.g, m.faults, repaired) == nil {
+		plan.SetStr("tactic", tactic.String())
+	} else {
+		plan.SetStr("tactic", "exhausted")
+	}
+	plan.End(span.OK)
+	if repaired != nil {
+		audit := span.Start(m.remapSpan, "audit")
+		if err := verify.CheckPipeline(m.g, m.faults, repaired); err == nil {
+			audit.End(span.OK)
 			m.stats.MovedStages += movedStages(m.path, repaired)
 			m.path = repaired
 			m.bump(tactic)
-			m.downtime[tactic] += time.Since(start)
+			m.account(tactic, start)
 			m.observeRepair(tactic, start, node, observing)
+			m.markDown(node)
 			return tactic, nil
+		} else {
+			audit.SetStr("error", err.Error()).End(span.Errored)
 		}
 		// A local tactic produced an invalid pipeline; the certificate
 		// check caught it and we degrade to the full recompute.
@@ -247,14 +320,48 @@ func (m *Manager) Fault(node int) (Tactic, error) {
 	m.reg.Eventf("full_remap_fallback", "node=%d", node)
 	if err := m.fullRemap(start); err != nil {
 		m.faults.Remove(node)
-		m.rollbacks++
-		m.rollbackTime += time.Since(start)
+		m.rollback(start)
 		m.reg.Eventf("repair_failed", "node=%d err=%v", node, err)
 		return 0, err
 	}
-	m.downtime[FullRemap] += time.Since(start)
+	m.account(FullRemap, start)
 	m.observeRepair(FullRemap, start, node, observing)
+	m.markDown(node)
 	return FullRemap, nil
+}
+
+// account folds one completed repair's latency into the per-tactic
+// downtime ledger and its exported histogram.
+func (m *Manager) account(t Tactic, start time.Time) {
+	d := time.Since(start)
+	m.downtime[t] += d
+	m.downtimeHist[t].ObserveDuration(d)
+}
+
+// rollback records one rolled-back operation in the ledger and metrics.
+func (m *Manager) rollback(start time.Time) {
+	d := time.Since(start)
+	m.rollbacks++
+	m.rollbackTime += d
+	m.rollbackNum.Inc()
+	m.rollbackHist.ObserveDuration(d)
+}
+
+// markDown feeds the SLO availability ledger and degradation gauge after
+// a successful Fault (the node is now genuinely out of service).
+func (m *Manager) markDown(node int) {
+	if slo := span.DefaultSLO(); slo.Enabled() {
+		slo.NodeDown(m.g.Kind(node).String())
+		slo.SetDegradation(m.faults.Count(), m.k)
+	}
+}
+
+// markUp is markDown's inverse, after a successful Repair.
+func (m *Manager) markUp(node int) {
+	if slo := span.DefaultSLO(); slo.Enabled() {
+		slo.NodeUp(m.g.Kind(node).String())
+		slo.SetDegradation(m.faults.Count(), m.k)
+	}
 }
 
 // observeRepair records the latency histogram, per-tactic counter, and
@@ -278,57 +385,94 @@ func (m *Manager) Repair(node int) (Tactic, error) {
 	observing := m.reg.Enabled()
 	start := time.Now() // always sampled: downtime accounting is not gated on obs
 	m.faults.Remove(node)
+
+	detect := span.Start(m.remapSpan, "detect")
+	detect.SetStr("op", "repair").SetInt("node", int64(node))
+	detect.SetStr("kind", m.g.Kind(node).String())
+	detect.End(span.OK)
 	if m.g.Kind(node) != graph.Processor {
 		// A repaired terminal changes nothing until an endpoint needs it.
 		m.stats.NoChange++
-		m.downtime[NoChange] += time.Since(start)
+		m.account(NoChange, start)
 		m.observeRepair(NoChange, start, node, observing)
+		m.markUp(node)
 		return NoChange, nil
 	}
 	// Insert between some adjacent pipeline pair.
+	plan := span.Start(m.remapSpan, "plan")
 	for i := 0; i+1 < len(m.path); i++ {
 		if m.g.HasEdge(m.path[i], node) && m.g.HasEdge(node, m.path[i+1]) {
 			repaired := make(graph.Path, 0, len(m.path)+1)
 			repaired = append(repaired, m.path[:i+1]...)
 			repaired = append(repaired, node)
 			repaired = append(repaired, m.path[i+1:]...)
-			if verify.CheckPipeline(m.g, m.faults, repaired) == nil {
+			audit := span.Start(m.remapSpan, "audit")
+			if err := verify.CheckPipeline(m.g, m.faults, repaired); err == nil {
+				audit.End(span.OK)
+				plan.SetStr("tactic", Insert.String()).SetInt("insert_at", int64(i+1))
+				plan.End(span.OK)
 				m.path = repaired
 				m.stats.Insert++
-				m.downtime[Insert] += time.Since(start)
+				m.account(Insert, start)
 				m.observeRepair(Insert, start, node, observing)
+				m.markUp(node)
 				return Insert, nil
+			} else {
+				audit.SetStr("error", err.Error()).End(span.Errored)
 			}
 		}
 	}
+	plan.SetStr("tactic", "exhausted")
+	plan.End(span.OK)
 	m.fallbacks.Inc()
 	m.reg.Eventf("full_remap_fallback", "node=%d", node)
 	if err := m.fullRemap(start); err != nil {
 		m.faults.Add(node)
-		m.rollbacks++
-		m.rollbackTime += time.Since(start)
+		m.rollback(start)
 		m.reg.Eventf("repair_failed", "node=%d err=%v", node, err)
 		return 0, err
 	}
-	m.downtime[FullRemap] += time.Since(start)
+	m.account(FullRemap, start)
 	m.observeRepair(FullRemap, start, node, observing)
+	m.markUp(node)
 	return FullRemap, nil
 }
 
-// repairInterior handles a failed interior processor at position idx.
-func (m *Manager) repairInterior(idx int) (graph.Path, Tactic) {
+// attempt opens a tactic-attempt span under the plan phase.
+func attempt(plan *span.S, name string) *span.S {
+	return span.Start(plan, "tactic").SetStr("tactic", name)
+}
+
+// endAttempt closes a tactic-attempt span with its hit/miss outcome.
+func endAttempt(sp *span.S, hit bool) {
+	if hit {
+		sp.SetStr("result", "hit")
+	} else {
+		sp.SetStr("result", "miss")
+	}
+	sp.End(span.OK)
+}
+
+// repairInterior handles a failed interior processor at position idx. Each
+// local tactic scan is recorded as a child "tactic" span of the plan phase.
+func (m *Manager) repairInterior(idx int, plan *span.S) (graph.Path, Tactic) {
 	a, b := m.path[idx-1], m.path[idx+1]
 	// Splice: neighbors already adjacent.
+	sp := attempt(plan, "splice")
 	if m.g.HasEdge(a, b) {
+		endAttempt(sp, true)
 		out := make(graph.Path, 0, len(m.path)-1)
 		out = append(out, m.path[:idx]...)
 		out = append(out, m.path[idx+1:]...)
 		return out, Splice
 	}
+	endAttempt(sp, false)
 	// 2-opt rewire: reverse path[idx+1..j] so that a—path[j] and
 	// path[idx+1]—path[j+1] become the new links.
+	sp = attempt(plan, "rewire-right")
 	for j := idx + 1; j+1 < len(m.path); j++ {
 		if m.g.HasEdge(a, m.path[j]) && m.g.HasEdge(m.path[idx+1], m.path[j+1]) {
+			endAttempt(sp, true)
 			out := make(graph.Path, 0, len(m.path)-1)
 			out = append(out, m.path[:idx]...)
 			for x := j; x >= idx+1; x-- {
@@ -338,9 +482,12 @@ func (m *Manager) repairInterior(idx int) (graph.Path, Tactic) {
 			return out, Rewire
 		}
 	}
+	endAttempt(sp, false)
 	// Mirror: reverse path[i..idx-1] on the left side.
+	sp = attempt(plan, "rewire-left")
 	for i := idx - 1; i > 0; i-- {
 		if m.g.HasEdge(m.path[i-1], m.path[idx-1]) && m.g.HasEdge(m.path[i], b) {
+			endAttempt(sp, true)
 			out := make(graph.Path, 0, len(m.path)-1)
 			out = append(out, m.path[:i]...)
 			for x := idx - 1; x >= i; x-- {
@@ -350,11 +497,12 @@ func (m *Manager) repairInterior(idx int) (graph.Path, Tactic) {
 			return out, Rewire
 		}
 	}
+	endAttempt(sp, false)
 	return nil, FullRemap
 }
 
 // repairEndpoint handles a failed terminal at either end.
-func (m *Manager) repairEndpoint(idx int) (graph.Path, Tactic) {
+func (m *Manager) repairEndpoint(idx int, plan *span.S) (graph.Path, Tactic) {
 	var border int
 	var kind graph.Kind
 	if idx == 0 {
@@ -364,8 +512,10 @@ func (m *Manager) repairEndpoint(idx int) (graph.Path, Tactic) {
 		border = m.path[len(m.path)-2]
 		kind = graph.OutputTerminal
 	}
+	sp := attempt(plan, "endpoint-swap")
 	for _, u := range m.g.Neighbors(border) {
 		if m.g.Kind(int(u)) == kind && !m.faults.Contains(int(u)) {
+			endAttempt(sp, true)
 			out := append(graph.Path(nil), m.path...)
 			if idx == 0 {
 				out[0] = int(u)
@@ -375,6 +525,7 @@ func (m *Manager) repairEndpoint(idx int) (graph.Path, Tactic) {
 			return out, EndpointSwap
 		}
 	}
+	endAttempt(sp, false)
 	return nil, FullRemap
 }
 
@@ -386,15 +537,23 @@ func (m *Manager) repairEndpoint(idx int) (graph.Path, Tactic) {
 // result that lands after the deadline — even a valid one — is discarded,
 // because a deployment would already have declared the remap failed.
 func (m *Manager) fullRemap(started time.Time) error {
+	solve := span.Start(m.remapSpan, "solve")
+	m.solver.SetSpan(solve)
+	defer m.solver.SetSpan(nil)
 	if m.res != nil && m.res.Stopped() {
-		return fmt.Errorf("reconfig: remap aborted: %w", m.res.Err())
+		err := fmt.Errorf("reconfig: remap aborted: %w", m.res.Err())
+		endPhase(solve, err)
+		return err
 	}
 	if m.deadline > 0 {
 		remaining := m.deadline - time.Since(started)
 		if remaining <= 0 {
-			return fmt.Errorf("reconfig: %w (%v elapsed, deadline %v)",
+			err := fmt.Errorf("reconfig: %w (%v elapsed, deadline %v)",
 				ErrDeadline, time.Since(started).Round(time.Microsecond), m.deadline)
+			endPhase(solve, err)
+			return err
 		}
+		solve.SetInt("deadline_remaining_ns", int64(remaining))
 		scope := embed.Scoped(m.res, remaining)
 		defer scope.Release()
 		m.solver.SetResources(scope)
@@ -403,19 +562,35 @@ func (m *Manager) fullRemap(started time.Time) error {
 		m.solver.SetResources(m.res)
 	}
 	res := m.solver.Find(m.faults)
+	solve.SetInt("expansions", res.Expansions)
 	if m.deadline > 0 && time.Since(started) > m.deadline {
-		return fmt.Errorf("reconfig: %w (%v elapsed, deadline %v)",
+		err := fmt.Errorf("reconfig: %w (%v elapsed, deadline %v)",
 			ErrDeadline, time.Since(started).Round(time.Microsecond), m.deadline)
+		if res.Found {
+			// A valid late result is discarded, not merely missing.
+			solve.SetStr("late_result", "discarded")
+		}
+		endPhase(solve, err)
+		return err
 	}
 	if !res.Found {
+		var err error
 		if res.Unknown && m.res != nil && m.res.Stopped() {
-			return fmt.Errorf("reconfig: remap canceled: %w", m.res.Err())
+			err = fmt.Errorf("reconfig: remap canceled: %w", m.res.Err())
+		} else {
+			err = fmt.Errorf("reconfig: no pipeline (unknown=%v, faults=%v)", res.Unknown, m.faults.Slice())
 		}
-		return fmt.Errorf("reconfig: no pipeline (unknown=%v, faults=%v)", res.Unknown, m.faults.Slice())
+		endPhase(solve, err)
+		return err
 	}
+	solve.End(span.OK)
+	audit := span.Start(m.remapSpan, "audit")
 	if err := verify.CheckPipeline(m.g, m.faults, res.Pipeline); err != nil {
+		audit.SetStr("error", err.Error()).End(span.Errored)
+		span.Trip(span.AnomalySolverBug, err.Error())
 		return fmt.Errorf("reconfig: solver returned invalid pipeline: %w", err)
 	}
+	audit.End(span.OK)
 	if m.path != nil {
 		m.stats.MovedStages += movedStages(m.path, res.Pipeline)
 	}

@@ -1,0 +1,102 @@
+// Package telemetry bundles the observability flags shared by the
+// long-running CLIs (gdpsim, gdpverify, gdpbench): -trace-dump arms the
+// anomaly flight recorder (and with it span tracing), -slo sets the
+// remap-latency objective for the health layer, and -pprof opts the
+// profiling handlers onto the metrics mux. The package exists so the
+// CLIs stay one Register/Activate call each, and so obs — which must not
+// import the span layer — never has to know these handlers exist: they
+// are mounted through obs.MuxOption.
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"gdpn/internal/obs"
+	"gdpn/internal/obs/span"
+)
+
+// Flags is the parsed observability flag bundle.
+type Flags struct {
+	// Pprof mounts net/http/pprof on the metrics mux (with -metrics-addr).
+	Pprof bool
+	// TraceDump is the flight-recorder dump directory ("" = disarmed).
+	TraceDump string
+	// SLO is the remap-latency p99 objective (0 = health layer off).
+	SLO time.Duration
+}
+
+// Register installs -pprof, -trace-dump, and -slo on the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.BoolVar(&f.Pprof, "pprof", false,
+		"mount net/http/pprof under /debug/pprof/ on the metrics mux (requires -metrics-addr)")
+	flag.StringVar(&f.TraceDump, "trace-dump", "",
+		"arm the anomaly flight recorder: enable span tracing and write self-contained span+metric dumps into this directory when an anomaly trips")
+	flag.DurationVar(&f.SLO, "slo", 0,
+		"remap-latency p99 objective (e.g. 50ms): enable the SLO health layer (/slo endpoint, slo_* gauges) and exit non-zero on breach")
+	return f
+}
+
+// Activate applies the parsed flags: arms the flight recorder (which also
+// enables the span tracer) and sets the SLO objectives. Call after
+// flag.Parse and before the run starts.
+func (f *Flags) Activate() error {
+	if f.TraceDump != "" {
+		if err := span.DefaultRecorder().Arm(span.RecorderConfig{Dir: f.TraceDump}); err != nil {
+			return err
+		}
+	}
+	if f.SLO > 0 {
+		slo := span.DefaultSLO()
+		slo.SetObjective("remap", f.SLO)
+		// Solve latency is tracked (p99 exported) but has no target of its
+		// own: the remap objective already covers the user-visible stall.
+		slo.SetObjective("solve", 0)
+	}
+	return nil
+}
+
+// MuxOptions returns the handlers the flags imply for the metrics mux:
+// /debug/spans (span ring) and /slo (health document) always — both are
+// cheap and empty when their layer is off — plus pprof when opted in.
+func (f *Flags) MuxOptions() []obs.MuxOption {
+	opts := []obs.MuxOption{
+		obs.WithHandler("/debug/spans", span.Default().Handler()),
+		obs.WithHandler("/slo", span.DefaultSLO().Handler()),
+	}
+	if f.Pprof {
+		opts = append(opts, obs.WithPprof())
+	}
+	return opts
+}
+
+// Breaches returns the SLO breach lines ("" objective unset → nil). A
+// non-empty result means the run should exit non-zero.
+func (f *Flags) Breaches() []string {
+	if f.SLO <= 0 {
+		return nil
+	}
+	return span.DefaultSLO().Breaches()
+}
+
+// Report writes the end-of-run telemetry summary to w: flight-recorder
+// dump accounting when armed, SLO breaches when an objective is set.
+// It returns true when the run is healthy (no breach).
+func (f *Flags) Report(w io.Writer) bool {
+	if f.TraceDump != "" {
+		written, suppressed := span.DefaultRecorder().Dumps()
+		if written > 0 || suppressed > 0 {
+			fmt.Fprintf(w, "flight recorder: %d dump(s) in %s (%d trip(s) suppressed)\n",
+				written, f.TraceDump, suppressed)
+		}
+	}
+	breaches := f.Breaches()
+	for _, b := range breaches {
+		fmt.Fprintf(w, "SLO BREACH: %s\n", b)
+	}
+	return len(breaches) == 0
+}

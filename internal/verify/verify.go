@@ -35,6 +35,7 @@ import (
 	"gdpn/internal/embed"
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
+	"gdpn/internal/obs/span"
 )
 
 // FaultUniverse selects which nodes may fail.
@@ -292,6 +293,12 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 					}
 					wk.local.Steals++
 				}
+				// One span per rank chunk (coarse enough to trace full
+				// sweeps); per-set solve spans nest under it when enabled.
+				csp := span.Start(nil, "sweep-chunk")
+				csp.SetInt("worker", int64(w)).SetInt("size", int64(c.size)).
+					SetInt("from", c.from).SetInt("ranks", c.to-c.from)
+				wk.solver.SetSpan(csp)
 				ss := sub[:c.size]
 				if c.size > 0 {
 					combin.Unrank(len(universe), c.size, c.from, ss)
@@ -304,6 +311,7 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 					// cancel or another worker's FailFast hit) abandons the
 					// remaining chunks, including any stolen ones.
 					if sweep.Stopped() {
+						csp.End(span.Canceled)
 						break sweepLoop
 					}
 					wk.local.Represented++
@@ -313,10 +321,13 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 					if !wk.check(ss) {
 						// Abandoned mid-solve: no verdict for this set.
 						wk.local.Represented--
+						csp.End(span.Canceled)
 						break sweepLoop
 					}
 				}
+				csp.End(span.OK)
 			}
+			wk.solver.SetSpan(nil)
 			wk.local.Tiers = wk.solver.Stats()
 			results <- wk.local
 		}(w)
@@ -622,6 +633,7 @@ func (w *worker) check(sub []int) bool {
 	case res.Unknown:
 		w.local.UnknownCount++
 		record(&w.local.Unknowns, w.universe, sub, "budget exhausted", w.maxRec)
+		span.Trip(span.AnomalyBudget, fmt.Sprintf("verify: faults=%v budget exhausted", w.cur))
 	case !res.Found:
 		w.local.FailureCount++
 		record(&w.local.Failures, w.universe, sub, "no pipeline", w.maxRec)
@@ -633,6 +645,7 @@ func (w *worker) check(sub []int) bool {
 	default:
 		if err := CheckPipeline(w.g, w.faults, res.Pipeline); err != nil {
 			record(&w.local.SolverBugs, w.universe, sub, err.Error(), w.maxRec)
+			span.Trip(span.AnomalySolverBug, fmt.Sprintf("verify: faults=%v: %v", w.cur, err))
 		}
 	}
 	return true
