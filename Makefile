@@ -31,10 +31,11 @@ bench-snapshot:
 
 # bench-check runs the suite fresh and diffs it against the committed
 # baseline — the same gate CI applies (>25% slowdown above the 100ms
-# noise floor, or any verdict flip, fails).
+# noise floor, >2x allocs/op growth above the 10k-alloc floor, or any
+# verdict flip, fails).
 bench-check:
 	$(GO) run ./cmd/gdpbench -quick -symmetry -json > /tmp/gdp_bench_current.json
-	$(GO) run ./cmd/benchdiff -max-ratio 1.25 BENCH_baseline.json /tmp/gdp_bench_current.json
+	$(GO) run ./cmd/benchdiff -max-ratio 1.25 -max-alloc-ratio 2 BENCH_baseline.json /tmp/gdp_bench_current.json
 
 # soak is the local version of the nightly chaos workflow: continuous
 # traffic under stochastic fault/repair churn with the race detector on;

@@ -65,6 +65,7 @@ func BenchmarkL39_G2kUnique(b *testing.B)               { benchExperiment(b, "L3
 func BenchmarkM_MergedModel(b *testing.B)               { benchExperiment(b, "M") }
 func BenchmarkS1_StreamingRemap(b *testing.B)           { benchExperiment(b, "S1") }
 func BenchmarkS2_UtilizationVsBaseline(b *testing.B)    { benchExperiment(b, "S2") }
+func BenchmarkS3_BatchedTransport(b *testing.B)         { benchExperiment(b, "S3") }
 func BenchmarkP1_SolverAblation(b *testing.B)           { benchExperiment(b, "P1") }
 func BenchmarkP2_BisectorAblation(b *testing.B)         { benchExperiment(b, "P2") }
 func BenchmarkP3_TierHitRates(b *testing.B)             { benchExperiment(b, "P3") }

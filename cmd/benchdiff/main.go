@@ -6,10 +6,12 @@
 //
 // An experiment regresses when its elapsed time grows by more than
 // -max-ratio over the baseline (only timings above -min are compared —
-// sub-threshold runs are all noise), or when its ok flag flips to false.
-// Experiments present on only one side are reported but not fatal, so
-// adding a benchmark does not break the gate. Exit status 1 on any
-// regression. The classification logic lives in internal/benchcmp.
+// sub-threshold runs are all noise), when its allocs/op grow by more
+// than -max-alloc-ratio (baselines above -min-allocs only; 0 disables
+// the allocation gate), or when its ok flag flips to false. Experiments
+// present on only one side are reported but not fatal, so adding a
+// benchmark does not break the gate. Exit status 1 on any regression.
+// The classification logic lives in internal/benchcmp.
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 func main() {
 	maxRatio := flag.Float64("max-ratio", 1.25, "fail when current/baseline elapsed exceeds this")
 	minBase := flag.Duration("min", 100*time.Millisecond, "ignore experiments whose baseline elapsed is below this (noise floor)")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 0, "fail when current/baseline allocs per op exceeds this (0 = no allocation gate)")
+	minAllocs := flag.Int64("min-allocs", 10_000, "ignore experiments whose baseline allocs/op is below this (allocation noise floor)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-ratio R] [-min D] baseline.json current.json")
@@ -37,7 +41,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := benchcmp.Options{MaxRatio: *maxRatio, MinBase: *minBase}
+	opts := benchcmp.Options{MaxRatio: *maxRatio, MinBase: *minBase,
+		MaxAllocRatio: *maxAllocRatio, MinAllocs: *minAllocs}
 	res := benchcmp.Compare(base, cur, opts)
 	res.Render(os.Stdout, opts)
 	if !res.OK() {

@@ -54,6 +54,7 @@ func main() {
 		symm    = flag.Bool("symmetry", false, "orbit-reduced exhaustive verification inside every experiment")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (tables + metrics) on stdout")
 		raceEng = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets in every verification")
+		batch   = flag.Int("batch", 0, "transport batch size for the streaming experiments (0 = pipeline default)")
 		addr    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/spans, /slo on this address during the run")
 	)
 	tf := telemetry.Register()
@@ -89,7 +90,7 @@ func main() {
 	defer cancel()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Symmetry: *symm,
-		Race: *raceEng, Context: ctx}
+		Race: *raceEng, Batch: *batch, Context: ctx}
 	if *jsonOut {
 		// Collect runtime metrics (solver wall time, tier hit rates) along
 		// with the tables.

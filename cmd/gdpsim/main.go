@@ -63,6 +63,8 @@ func main() {
 		epochs   = flag.Int("epochs", 0, "total epochs to run (0 = stop when the fault sequence is exhausted)")
 		addr     = flag.String("metrics-addr", "", "serve /metrics and /debug/trace on this address (e.g. :9090); enables instrumentation")
 		interval = flag.Duration("snapshot-interval", 5*time.Second, "period of the one-line stderr metrics snapshot (with -metrics-addr)")
+		batch    = flag.Int("batch", 0, "frames per transport batch (0 = default 8; 1 = per-frame)")
+		chanDep  = flag.Int("chan-depth", 0, "per-stage channel depth in batches (0 = default 4)")
 
 		chaosMode = flag.Bool("chaos", false, "run the continuous chaos soak instead of the epoch demo")
 		duration  = flag.Duration("duration", 30*time.Second, "chaos: soak length")
@@ -123,6 +125,8 @@ func main() {
 			BurstProb:     *burstProb,
 			RemapDeadline: *remapDL,
 			FrameSamples:  *size,
+			Batch:         *batch,
+			ChannelDepth:  *chanDep,
 			Context:       ctx,
 		}
 		if !*quiet && !*jsonOut {
@@ -176,7 +180,7 @@ func main() {
 		stages.NewFIR([]float64{0.25, 0.5, 0.25}),
 		stages.NewQuantize(-16, 16, 256),
 		stages.NewLZ78(4096),
-	})
+	}, pipeline.WithBatchSize(*batch), pipeline.WithChannelDepth(*chanDep))
 	if err != nil {
 		fatal(err)
 	}

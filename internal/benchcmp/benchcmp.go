@@ -2,9 +2,11 @@
 // each experiment's timing drift, the logic behind the cmd/benchdiff CI
 // gate. An experiment regresses when its elapsed time grows by more than
 // Options.MaxRatio over the baseline (only baselines above Options.MinBase
-// are compared — sub-threshold runs are all noise), or when its ok flag
-// flips to false. Experiments present on only one side are reported but
-// never fatal, so adding or retiring a benchmark does not break the gate.
+// are compared — sub-threshold runs are all noise), when its allocs/op
+// grow by more than Options.MaxAllocRatio (above the Options.MinAllocs
+// floor; 0 disables), or when its ok flag flips to false. Experiments
+// present on only one side are reported but never fatal, so adding or
+// retiring a benchmark does not break the gate.
 package benchcmp
 
 import (
@@ -15,12 +17,16 @@ import (
 	"time"
 )
 
-// Experiment is one row of a gdpbench -json snapshot.
+// Experiment is one row of a gdpbench -json snapshot. AllocsPerOp and
+// BytesPerOp are absent (zero) in snapshots predating the allocation
+// gate; such rows are never alloc-compared.
 type Experiment struct {
-	ID        string `json:"id"`
-	Title     string `json:"title"`
-	OK        bool   `json:"ok"`
-	ElapsedNS int64  `json:"elapsed_ns"`
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	OK          bool   `json:"ok"`
+	ElapsedNS   int64  `json:"elapsed_ns"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
 }
 
 // Snapshot is the subset of the gdpbench -json schema the gate reads.
@@ -59,6 +65,15 @@ type Options struct {
 	// MinBase is the noise floor: experiments whose baseline elapsed is
 	// below it are not timing-compared (ok-flips still count).
 	MinBase time.Duration
+	// MaxAllocRatio fails an experiment when current/baseline allocs per
+	// op exceeds it. 0 disables the allocation gate (the default, so old
+	// baselines without allocation fields keep working).
+	MaxAllocRatio float64
+	// MinAllocs is the allocation noise floor: experiments whose baseline
+	// allocs/op is below it are not alloc-compared. Shields tiny
+	// experiments where a handful of runtime-internal allocations double
+	// the count.
+	MinAllocs int64
 }
 
 // Verdict classifies one experiment's drift.
@@ -93,6 +108,14 @@ type Row struct {
 	Base, Cur time.Duration
 	// Ratio is Cur/Base for timing-compared rows, 0 otherwise.
 	Ratio float64
+	// BaseAllocs/CurAllocs are the allocs-per-op on each side; AllocRatio
+	// is their quotient for alloc-compared rows, 0 otherwise.
+	BaseAllocs, CurAllocs int64
+	AllocRatio            float64
+	// AllocRegressed marks a row whose (possibly OK) timing hid an
+	// allocation regression — the verdict is REGRESS either way, the flag
+	// only drives rendering.
+	AllocRegressed bool
 }
 
 // Result is a full snapshot comparison.
@@ -126,6 +149,7 @@ func Compare(base, cur *Snapshot, opts Options) *Result {
 			continue
 		}
 		row.Base = time.Duration(b.ElapsedNS)
+		row.BaseAllocs, row.CurAllocs = b.AllocsPerOp, c.AllocsPerOp
 		switch {
 		case b.OK && !c.OK:
 			row.Verdict = VerdictBroken
@@ -139,6 +163,20 @@ func Compare(base, cur *Snapshot, opts Options) *Result {
 			if row.Ratio > opts.MaxRatio {
 				row.Verdict = VerdictRegressed
 				res.Regressions++
+			}
+		}
+		// The allocation gate runs independently of the timing verdict (a
+		// run can keep its speed while its allocation profile explodes) but
+		// shares the timing noise floor's spirit via MinAllocs.
+		if row.Verdict != VerdictBroken &&
+			opts.MaxAllocRatio > 0 && b.AllocsPerOp >= opts.MinAllocs && b.AllocsPerOp > 0 {
+			row.AllocRatio = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+			if row.AllocRatio > opts.MaxAllocRatio {
+				row.AllocRegressed = true
+				if row.Verdict != VerdictRegressed {
+					row.Verdict = VerdictRegressed
+					res.Regressions++
+				}
 			}
 		}
 		res.Rows = append(res.Rows, row)
@@ -167,9 +205,13 @@ func (r *Result) Render(w io.Writer, opts Options) {
 		case VerdictBroken:
 			fmt.Fprintf(w, "BROKEN  %-6s %s — ok flipped to false\n", row.ID, row.Title)
 		default:
-			fmt.Fprintf(w, "%-7s %-6s %s: %v -> %v (%.2fx)\n", string(row.Verdict),
+			fmt.Fprintf(w, "%-7s %-6s %s: %v -> %v (%.2fx)", string(row.Verdict),
 				row.ID, row.Title, row.Base.Round(time.Millisecond),
 				row.Cur.Round(time.Millisecond), row.Ratio)
+			if row.AllocRegressed {
+				fmt.Fprintf(w, " — allocs/op %d -> %d (%.2fx)", row.BaseAllocs, row.CurAllocs, row.AllocRatio)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 	fmt.Fprintf(w, "benchdiff: %d experiments compared (baseline floor %v), %d regression(s) at max-ratio %.2f\n",

@@ -102,6 +102,86 @@ func TestRowOrderFollowsCurrentThenGone(t *testing.T) {
 	}
 }
 
+// allocExp is exp with an allocation profile attached.
+func allocExp(id string, ok bool, elapsed time.Duration, allocs int64) Experiment {
+	e := exp(id, ok, elapsed)
+	e.AllocsPerOp = allocs
+	e.BytesPerOp = allocs * 64
+	return e
+}
+
+var allocOpts = Options{MaxRatio: 1.25, MinBase: 100 * time.Millisecond,
+	MaxAllocRatio: 2.0, MinAllocs: 10_000}
+
+func TestAllocRegressionFailsDespiteOKTiming(t *testing.T) {
+	base := snap(allocExp("S3", true, 200*time.Millisecond, 50_000))
+	cur := snap(allocExp("S3", true, 200*time.Millisecond, 150_000)) // 3x allocs, flat timing
+	res := Compare(base, cur, allocOpts)
+	row := verdictOf(t, res, "S3")
+	if row.Verdict != VerdictRegressed || !row.AllocRegressed {
+		t.Fatalf("3x allocs at flat timing = %s (allocRegressed=%v), want REGRESS", row.Verdict, row.AllocRegressed)
+	}
+	if row.AllocRatio != 3.0 {
+		t.Fatalf("AllocRatio = %v, want 3.0", row.AllocRatio)
+	}
+	if res.OK() || res.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1 (not double-counted)", res.Regressions)
+	}
+}
+
+func TestAllocRatioExactlyAtMaxPasses(t *testing.T) {
+	base := snap(allocExp("S3", true, 200*time.Millisecond, 50_000))
+	cur := snap(allocExp("S3", true, 200*time.Millisecond, 100_000)) // exactly 2.0x
+	res := Compare(base, cur, allocOpts)
+	if row := verdictOf(t, res, "S3"); row.Verdict != VerdictOK || row.AllocRegressed {
+		t.Fatalf("boundary alloc ratio = %s, want ok (gate is strict-greater)", row.Verdict)
+	}
+}
+
+func TestAllocGateHonorsNoiseFloorAndDisable(t *testing.T) {
+	// Below MinAllocs: a tiny experiment tripling a handful of allocations
+	// is runtime noise, not a regression.
+	base := snap(allocExp("F1", true, 200*time.Millisecond, 500))
+	cur := snap(allocExp("F1", true, 200*time.Millisecond, 5_000))
+	if res := Compare(base, cur, allocOpts); !res.OK() {
+		t.Fatal("sub-floor alloc growth failed the gate")
+	}
+	// MaxAllocRatio 0 (or an old baseline without alloc fields, which
+	// decodes to 0 allocs/op) disables the gate entirely.
+	base = snap(allocExp("F1", true, 200*time.Millisecond, 50_000))
+	cur = snap(allocExp("F1", true, 200*time.Millisecond, 500_000))
+	if res := Compare(base, cur, opts); !res.OK() {
+		t.Fatal("alloc gate fired with MaxAllocRatio 0")
+	}
+	oldBase := snap(exp("F1", true, 200*time.Millisecond)) // no alloc fields
+	if res := Compare(oldBase, cur, allocOpts); !res.OK() {
+		t.Fatal("alloc gate fired against a pre-allocation baseline")
+	}
+}
+
+func TestAllocAndTimingRegressionCountsOnce(t *testing.T) {
+	base := snap(allocExp("S3", true, 200*time.Millisecond, 50_000))
+	cur := snap(allocExp("S3", true, 600*time.Millisecond, 500_000))
+	res := Compare(base, cur, allocOpts)
+	if res.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1 for a single doubly-regressed row", res.Regressions)
+	}
+}
+
+func TestRenderAllocRegression(t *testing.T) {
+	base := snap(allocExp("S3", true, 200*time.Millisecond, 50_000))
+	cur := snap(allocExp("S3", true, 200*time.Millisecond, 150_000))
+	res := Compare(base, cur, allocOpts)
+	var b strings.Builder
+	res.Render(&b, allocOpts)
+	out := b.String()
+	for _, want := range []string{"REGRESS S3", "allocs/op 50000 -> 150000 (3.00x)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseRejectsEmptySnapshot(t *testing.T) {
 	if _, err := Parse([]byte(`{"ok":true,"experiments":[]}`), "empty.json"); err == nil {
 		t.Fatal("empty snapshot accepted (a crashed producer would pass the gate)")

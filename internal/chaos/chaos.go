@@ -61,6 +61,10 @@ type Config struct {
 	FrameSamples int
 	// MaxPending is the stream's backpressure bound. Default 64.
 	MaxPending int
+	// Batch / ChannelDepth tune the engine's batched transport (frames per
+	// carrier batch, per-stage channel depth). ≤ 0 keeps the defaults.
+	Batch        int
+	ChannelDepth int
 	// RemapDeadline bounds each remap; a solve that misses it rolls back
 	// to the last valid pipeline and the fault is retried later. 0 = off.
 	RemapDeadline time.Duration
@@ -198,7 +202,8 @@ func Run(sol *construct.Solution, stgs []stages.Stage, cfg Config) (*Report, err
 		stgs = DefaultStages()
 	}
 
-	eng, err := pipeline.New(sol, stgs)
+	eng, err := pipeline.New(sol, stgs,
+		pipeline.WithBatchSize(cfg.Batch), pipeline.WithChannelDepth(cfg.ChannelDepth))
 	if err != nil {
 		return nil, err
 	}
@@ -267,21 +272,27 @@ func Run(sol *construct.Solution, stgs []stages.Stage, cfg Config) (*Report, err
 				return
 			default:
 			}
-			batch := workload.Frames(gen, 1, cfg.FrameSamples, seq)
-			if st.Submit(batch[0]) != nil {
+			// Lease frame storage from the engine pool (the consumer
+			// recycles it) so the soak itself runs the zero-allocation
+			// steady state it certifies.
+			d := eng.GetBuffer(cfg.FrameSamples)
+			workload.Fill(gen, d)
+			if st.Submit(pipeline.Frame{Seq: seq, Data: d}) != nil {
 				return
 			}
 			seq++
 		}
 	}()
 
-	// Consumer: drain deliveries (the stream itself audits sequence).
+	// Consumer: drain deliveries (the stream itself audits sequence) and
+	// return their buffers to the engine pool.
 	var consumed atomic.Int64
 	consumerDone := make(chan struct{})
 	go func() {
 		defer close(consumerDone)
-		for range st.Out() {
+		for f := range st.Out() {
 			consumed.Add(1)
+			eng.Recycle(f)
 		}
 	}()
 

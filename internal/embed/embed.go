@@ -26,6 +26,7 @@
 package embed
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -101,7 +102,21 @@ type Options struct {
 	// the loser. Verdicts are identical to the staged ladder; only the
 	// wall-clock path to them changes.
 	Race bool
+	// Memo retains solved results across calls, keyed by the exact fault
+	// set: a repeated fault set (chaos churn revisiting nearby
+	// configurations, fault/repair cycles) returns the cached verdict and
+	// a copy of the cached path without dispatching an engine. Definitive
+	// results only — Unknown (budget/deadline) outcomes are never cached.
+	// The cache survives remaps by design; call InvalidateCache when the
+	// graph changes underneath the solver. Off by default.
+	Memo bool
+	// MemoCap bounds the number of retained results (0 = DefaultMemoCap);
+	// reaching the cap clears the cache rather than evicting piecemeal.
+	MemoCap int
 }
+
+// DefaultMemoCap is the Options.Memo entry bound used when MemoCap is 0.
+const DefaultMemoCap = 4096
 
 // DefaultBudget is the backtracking node-expansion budget used when
 // Options.Budget is 0. It is far above what any instance in the test and
@@ -197,6 +212,13 @@ type Solver struct {
 	warmStart, warmEnd   bitset.Set
 	warmHits, warmMisses int64
 
+	// Result memo (Options.Memo): definitive results keyed by the encoded
+	// fault set. memoIDs/memoKey are reusable key-building scratch.
+	memo                 map[string]memoEntry
+	memoIDs              []int
+	memoKey              []byte
+	memoHits, memoMisses int64
+
 	// run is the token governing the current Find call: Options.Res, or a
 	// per-call child of it when Options.Deadline is set.
 	run *Resources
@@ -213,6 +235,8 @@ type Solver struct {
 	tiers      [6]*obs.Counter // per-tier resolutions, same order as tierDeltas
 	warmHit    *obs.Counter
 	warmMiss   *obs.Counter
+	memoHit    *obs.Counter
+	memoMiss   *obs.Counter
 	cancels    *obs.Counter    // calls abandoned because the token stopped
 	raceWon    [2]*obs.Counter // racing Auto wins, [0]=dp [1]=backtrack
 }
@@ -241,6 +265,11 @@ func NewSolver(g *graph.Graph, opts Options) *Solver {
 	}
 	s.warmHit = s.reg.Counter("embed_warm_total", obs.L("result", "hit"))
 	s.warmMiss = s.reg.Counter("embed_warm_total", obs.L("result", "miss"))
+	s.memoHit = s.reg.Counter("embed_memo_hit_total")
+	s.memoMiss = s.reg.Counter("embed_memo_miss_total")
+	if s.opts.MemoCap <= 0 {
+		s.opts.MemoCap = DefaultMemoCap
+	}
 	s.cancels = s.reg.Counter("embed_cancel_total")
 	s.raceWon[0] = s.reg.Counter("embed_race_won_total", obs.L("engine", "dp"))
 	s.raceWon[1] = s.reg.Counter("embed_race_won_total", obs.L("engine", "backtrack"))
@@ -283,6 +312,80 @@ func (s *Solver) FindDelta(faults bitset.Set, removed, added []int) Result {
 // Warm returns how many FindDelta calls reused warm endpoint state versus
 // rebuilt it from scratch.
 func (s *Solver) Warm() (hits, misses int64) { return s.warmHits, s.warmMisses }
+
+// Memo returns how many calls were answered from the result memo versus
+// solved (always (0, 0) unless Options.Memo is set).
+func (s *Solver) Memo() (hits, misses int64) { return s.memoHits, s.memoMisses }
+
+// InvalidateCache drops every piece of state derived from past solves:
+// the FindDelta warm endpoint state and the Options.Memo result cache.
+// Call it whenever the graph changes underneath the solver — cached
+// verdicts and warm endpoint sets are only sound for the topology they
+// were computed on.
+func (s *Solver) InvalidateCache() {
+	s.warmValid = false
+	if s.memo != nil {
+		clear(s.memo)
+	}
+}
+
+// memoEntry is one cached definitive result. path is the solver-owned
+// copy; hits hand out fresh copies (Result.Pipeline is documented as
+// freshly allocated).
+type memoEntry struct {
+	found  bool
+	method Method
+	path   graph.Path
+}
+
+// memoKeyFor encodes the fault set into s.memoKey (reused scratch) as
+// delta-encoded varints of the sorted node ids.
+func (s *Solver) memoKeyFor(faults bitset.Set) []byte {
+	s.memoIDs = faults.AppendTo(s.memoIDs[:0])
+	key := s.memoKey[:0]
+	prev := 0
+	for _, id := range s.memoIDs {
+		key = binary.AppendUvarint(key, uint64(id-prev))
+		prev = id
+	}
+	s.memoKey = key
+	return key
+}
+
+// memoLookup consults the result memo; on a hit the cached path is
+// copied out. The built key stays in s.memoKey for a following memoStore.
+func (s *Solver) memoLookup(faults bitset.Set) (Result, bool) {
+	key := s.memoKeyFor(faults)
+	e, hit := s.memo[string(key)] // no allocation: map lookup special case
+	if !hit {
+		s.memoMisses++
+		s.memoMiss.Inc()
+		return Result{}, false
+	}
+	s.memoHits++
+	s.memoHit.Inc()
+	res := Result{Found: e.found, Method: e.method}
+	if e.found {
+		res.Pipeline = make(graph.Path, len(e.path))
+		copy(res.Pipeline, e.path)
+	}
+	return res, true
+}
+
+// memoStore caches a definitive result under the key memoLookup built.
+func (s *Solver) memoStore(res Result) {
+	if s.memo == nil {
+		s.memo = make(map[string]memoEntry)
+	} else if len(s.memo) >= s.opts.MemoCap {
+		clear(s.memo)
+	}
+	e := memoEntry{found: res.Found, method: res.Method}
+	if res.Found {
+		e.path = make(graph.Path, len(res.Pipeline))
+		copy(e.path, res.Pipeline)
+	}
+	s.memo[string(s.memoKey)] = e
+}
 
 // SetDeadline changes the per-call wall-clock bound for subsequent Find /
 // FindDelta calls (see Options.Deadline). 0 disables the bound.
@@ -394,6 +497,25 @@ func (s *Solver) find(faults bitset.Set, removed, added []int, delta bool) Resul
 		ends, ok = s.endpoints(faults)
 	}
 	s.warmValid = true
+	// Consulted only after the endpoint state is patched: a memo hit must
+	// leave the warm state exactly as a solved call would, so the next
+	// FindDelta's delta still applies to it.
+	if s.opts.Memo {
+		if r, hit := s.memoLookup(faults); hit {
+			return r
+		}
+	}
+	res := s.solvePrepared(faults, ends, ok)
+	if s.opts.Memo && !res.Unknown {
+		s.memoStore(res)
+	}
+	return res
+}
+
+// solvePrepared runs the trivial cases and engine dispatch for a call
+// whose endpoint state is already prepared (ok=false: no viable
+// endpoints survive the fault set).
+func (s *Solver) solvePrepared(faults bitset.Set, ends endpoints, ok bool) Result {
 	if !ok {
 		s.stats.Trivial++
 		return Result{Found: false}

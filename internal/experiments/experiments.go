@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -40,6 +41,9 @@ type Config struct {
 	// and the first definitive answer wins. Verdict-identical to the
 	// staged ladder (the TestRaceAB gate re-proves it).
 	Race bool
+	// Batch sets the transport batch size for the streaming experiments
+	// (S3). ≤ 0 uses the pipeline default.
+	Batch int
 	// Context cancels in-flight verifications (SIGINT → partial report).
 	Context context.Context
 }
@@ -82,6 +86,12 @@ type Table struct {
 	// OK reports that every row matched the claim.
 	OK      bool          `json:"ok"`
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// AllocsPerOp / BytesPerOp are the heap allocation count and volume of
+	// one execution of this experiment (measured by timed around Run, the
+	// same "op" elapsed_ns covers) — benchdiff gates allocation
+	// regressions on them alongside the timing gate.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
 // AddRow appends a formatted row.
@@ -217,9 +227,15 @@ func CollectOne(id string, cfg Config) (*Table, error) {
 }
 
 func timed(e Experiment, cfg Config) *Table {
+	// Experiments run serially, so MemStats deltas attribute cleanly.
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	tbl := e.Run(cfg)
 	tbl.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	tbl.AllocsPerOp = int64(after.Mallocs - before.Mallocs)
+	tbl.BytesPerOp = int64(after.TotalAlloc - before.TotalAlloc)
 	if tbl.ID == "" {
 		tbl.ID = e.ID
 	}

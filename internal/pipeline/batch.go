@@ -1,0 +1,266 @@
+package pipeline
+
+// This file is the zero-allocation batched transport (ROADMAP item 3):
+// frames move through the goroutine-per-processor chain in pooled
+// frameBatch carriers instead of one channel send per frame per stage,
+// and every sample buffer a frame occupies after its first processing
+// position comes from (and returns to) a sync.Pool. In steady state —
+// producer leasing buffers with GetBuffer, consumer returning them with
+// Recycle — the per-frame path performs zero heap allocations.
+//
+// Buffer lifecycle (the ownership rules; see DESIGN.md §12):
+//
+//   - Stream.Submit transfers ownership of Frame.Data to the stream: the
+//     storage is rewrapped and eventually recycled, so producers must not
+//     retain a submitted slice. Epoch-mode Process does NOT take
+//     ownership — callers may reuse the same input frames across calls.
+//   - Stage outputs alias per-stage scratch, so a worker detaches each
+//     processed frame into a pooled buffer and releases the frame's
+//     previous buffer back to the pool in the same step.
+//   - Frames handed to the consumer (Stream.Out / Process return) own
+//     their buffer. Returning it via Engine.Recycle closes the loop;
+//     dropping it instead is safe but costs one pool miss later.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdpn/internal/obs"
+)
+
+// Transport tuning defaults. DefaultChannelDepth preserves the chain's
+// historical hardcoded depth (make(chan …, 4)).
+const (
+	DefaultBatchSize    = 8
+	DefaultChannelDepth = 4
+	maxBatchSize        = 1024
+)
+
+// Option tunes an Engine at construction time.
+type Option func(*Engine)
+
+// WithBatchSize sets how many frames ride one chain send (default
+// DefaultBatchSize, clamped to [1, 1024]). 1 reproduces the per-frame
+// transport. Values <= 0 are ignored so zero-valued configs keep the
+// default.
+func WithBatchSize(n int) Option {
+	return func(e *Engine) {
+		if n > maxBatchSize {
+			n = maxBatchSize
+		}
+		if n >= 1 {
+			e.batchSize = n
+		}
+	}
+}
+
+// WithChannelDepth sets the per-position channel buffer, in batches
+// (default DefaultChannelDepth — the old hardcoded depth). Values <= 0
+// are ignored.
+func WithChannelDepth(d int) Option {
+	return func(e *Engine) {
+		if d >= 1 {
+			e.chanDepth = d
+		}
+	}
+}
+
+// fbuf wraps one pooled sample buffer. The wrapper is pooled separately
+// from its storage so that recycling a raw []float64 (Recycle) and
+// releasing storage to a consumer (emit) both stay allocation-free:
+// pooling a bare slice would box the header on every Put.
+type fbuf struct {
+	data []float64
+}
+
+// bufPool recycles frame-sized sample buffers. hits/misses always count
+// (they are the pool's own accounting, read by tests and the S3
+// experiment); the obs counters cost one atomic load when disabled.
+type bufPool struct {
+	full  sync.Pool // *fbuf with usable storage
+	empty sync.Pool // *fbuf wrappers whose storage was handed off
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	hitC   *obs.Counter
+	missC  *obs.Counter
+}
+
+// get leases a buffer of length n, reusing pooled storage when one with
+// enough capacity is available.
+func (p *bufPool) get(n int) *fbuf {
+	if v := p.full.Get(); v != nil {
+		b := v.(*fbuf)
+		if cap(b.data) >= n {
+			p.hits.Add(1)
+			p.hitC.Inc()
+			b.data = b.data[:n]
+			return b
+		}
+		// Keep the wrapper, grow its storage.
+		p.misses.Add(1)
+		p.missC.Inc()
+		b.data = make([]float64, n)
+		return b
+	}
+	p.misses.Add(1)
+	p.missC.Inc()
+	return &fbuf{data: make([]float64, n)}
+}
+
+// put returns a buffer (wrapper + storage) to the pool.
+func (p *bufPool) put(b *fbuf) {
+	if b == nil || cap(b.data) == 0 {
+		return
+	}
+	p.full.Put(b)
+}
+
+// wrap adopts caller-owned storage into a pooled wrapper (Submit,
+// Recycle). Returns nil for zero-capacity slices.
+func (p *bufPool) wrap(d []float64) *fbuf {
+	if cap(d) == 0 {
+		return nil
+	}
+	var b *fbuf
+	if v := p.empty.Get(); v != nil {
+		b = v.(*fbuf)
+	} else {
+		b = new(fbuf)
+	}
+	b.data = d[:cap(d)]
+	return b
+}
+
+// release hands a buffer's storage to the consumer and keeps the
+// wrapper for reuse.
+func (p *bufPool) release(b *fbuf) {
+	if b == nil {
+		return
+	}
+	b.data = nil
+	p.empty.Put(b)
+}
+
+// stats returns the lifetime hit/miss counts.
+func (p *bufPool) stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// GetBuffer leases an n-sample buffer from the engine's pool. Pairing it
+// with Recycle on delivered frames makes a producer/consumer loop
+// allocation-free in steady state. The buffer is ordinary memory — there
+// is no obligation to submit it.
+func (e *Engine) GetBuffer(n int) []float64 {
+	b := e.pool.get(n)
+	d := b.data
+	e.pool.release(b)
+	return d
+}
+
+// Recycle returns a delivered frame's buffer to the engine's pool. Only
+// the consumer that received the frame may call it, and the slice must
+// not be used afterwards.
+func (e *Engine) Recycle(f Frame) {
+	e.pool.put(e.pool.wrap(f.Data))
+}
+
+// PoolStats returns the buffer pool's lifetime hit and miss counts
+// (also exported as pipeline_pool_total{result="hit"|"miss"}).
+func (e *Engine) PoolStats() (hits, misses int64) { return e.pool.stats() }
+
+// frameBatch carries up to Engine.batchSize tokens per chain send,
+// amortizing channel synchronization across the whole batch.
+type frameBatch struct {
+	toks []token
+}
+
+func (e *Engine) getBatch() *frameBatch {
+	if v := e.batchPool.Get(); v != nil {
+		return v.(*frameBatch)
+	}
+	return &frameBatch{toks: make([]token, 0, e.batchSize)}
+}
+
+func (e *Engine) putBatch(b *frameBatch) {
+	if b == nil {
+		return
+	}
+	clear(b.toks) // drop buffer references so the pool retains no frames
+	b.toks = b.toks[:0]
+	e.batchPool.Put(b)
+}
+
+// newChain spins up one goroutine per pipeline position over the current
+// stage assignment, wired by channels carrying frame batches.
+func (e *Engine) newChain() *chain {
+	L := len(e.assign)
+	chans := make([]chan *frameBatch, L+1)
+	for i := range chans {
+		chans[i] = make(chan *frameBatch, e.chanDepth)
+	}
+	c := &chain{head: chans[0], tail: chans[L]}
+	for pos := 0; pos < L; pos++ {
+		go e.batchWorker(c, chans[pos], chans[pos+1], e.assign[pos])
+	}
+	return c
+}
+
+// batchWorker applies the position's owned stages to every token of each
+// batch and forwards the carrier; while the chain drains (or when the
+// position is a pass-through relay) batches move through untouched.
+func (e *Engine) batchWorker(c *chain, in <-chan *frameBatch, out chan<- *frameBatch, owned []int) {
+	S := len(e.stages)
+	for b := range in {
+		if len(owned) > 0 && !c.draining.Load() {
+			observing := e.reg.Enabled()
+			var work time.Time
+			if observing {
+				work = time.Now()
+			}
+			for i := range b.toks {
+				e.processToken(&b.toks[i], owned, S)
+			}
+			if observing {
+				e.stageTime.ObserveSince(work)
+				stall := time.Now()
+				out <- b
+				e.sendStall.ObserveSince(stall)
+				continue
+			}
+		}
+		out <- b
+	}
+	close(out)
+}
+
+// processToken runs the owned logical stages the token has not yet seen
+// (t.next skips ones applied before a previous remap) and detaches the
+// result into a pooled buffer, releasing the token's previous buffer.
+func (e *Engine) processToken(t *token, owned []int, S int) {
+	if t.next >= S {
+		return
+	}
+	data := t.data
+	processed := false
+	for _, si := range owned {
+		if si >= t.next {
+			data = e.stages[si].Process(data)
+			t.next = si + 1
+			processed = true
+		}
+	}
+	if !processed {
+		return
+	}
+	// Stage outputs alias per-stage scratch, valid only until that stage
+	// runs again — copy out before the next token reuses it. The copy
+	// completes before the old buffer is pooled, so a stage returning its
+	// input unchanged is still safe.
+	nb := e.pool.get(len(data))
+	copy(nb.data, data)
+	e.pool.put(t.buf)
+	t.buf = nb
+	t.data = nb.data
+}

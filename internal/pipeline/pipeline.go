@@ -74,12 +74,20 @@ type Engine struct {
 	// through it so remaps drain and requeue in-flight frames.
 	stream atomic.Pointer[Stream]
 
+	// Batched-transport tuning (see batch.go) and the buffer/batch pools
+	// behind the zero-allocation steady state.
+	batchSize int
+	chanDepth int
+	pool      bufPool
+	batchPool sync.Pool // *frameBatch
+
 	reg            *obs.Registry
 	framesTotal    *obs.Counter
 	framesRequeued *obs.Counter
 	frameLat       *obs.Histogram
 	stageTime      *obs.Histogram
 	sendStall      *obs.Histogram
+	batchOcc       *obs.Histogram
 	epochTime      *obs.Histogram
 	epochTput      *obs.Gauge
 	procsInUse     *obs.Gauge
@@ -96,8 +104,9 @@ const (
 // New builds an engine over a designed solution and the given logical
 // stage chain, and maps the initial (fault-free) pipeline. The stage
 // instances are owned by the engine: their internal state survives
-// remapping, as a checkpoint-restore would in a real array.
-func New(sol *construct.Solution, stgs []stages.Stage) (*Engine, error) {
+// remapping, as a checkpoint-restore would in a real array. Options
+// tune the batched transport (WithBatchSize, WithChannelDepth).
+func New(sol *construct.Solution, stgs []stages.Stage, opts ...Option) (*Engine, error) {
 	if len(stgs) == 0 {
 		return nil, fmt.Errorf("pipeline: need at least one stage")
 	}
@@ -108,12 +117,15 @@ func New(sol *construct.Solution, stgs []stages.Stage) (*Engine, error) {
 	reg := obs.Default()
 	e := &Engine{
 		g: sol.Graph, mgr: mgr, stages: stgs,
+		batchSize:      DefaultBatchSize,
+		chanDepth:      DefaultChannelDepth,
 		reg:            reg,
 		framesTotal:    reg.Counter("pipeline_frames_total"),
 		framesRequeued: reg.Counter("pipeline_frames_requeued_total"),
 		frameLat:       reg.Histogram("pipeline_frame_latency_ns"),
 		stageTime:      reg.Histogram("pipeline_stage_ns"),
 		sendStall:      reg.Histogram("pipeline_send_stall_ns"),
+		batchOcc:       reg.Histogram("pipeline_batch_occupancy"),
 		epochTime:      reg.Histogram("pipeline_epoch_ns"),
 		epochTput:      reg.Gauge("pipeline_epoch_throughput_bps"),
 		procsInUse:     reg.Gauge("pipeline_procs_in_use"),
@@ -123,6 +135,11 @@ func New(sol *construct.Solution, stgs []stages.Stage) (*Engine, error) {
 			reg.Histogram("pipeline_remap_ns", obs.L("op", "inject")),
 			reg.Histogram("pipeline_remap_ns", obs.L("op", "repair")),
 		},
+	}
+	e.pool.hitC = reg.Counter("pipeline_pool_total", obs.L("result", "hit"))
+	e.pool.missC = reg.Counter("pipeline_pool_total", obs.L("result", "miss"))
+	for _, o := range opts {
+		o(e)
 	}
 	e.assignStages()
 	e.procsInUse.Set(int64(e.ProcessorsInUse()))
@@ -287,9 +304,15 @@ func (e *Engine) assignStages() {
 }
 
 // Process streams the frames through the current mapping using one
-// goroutine per pipeline processor connected by channels, and returns the
-// transformed frames in order. Stages with internal state carry it across
-// calls. Faults are injected between Process calls (epoch model).
+// goroutine per pipeline processor connected by channels carrying pooled
+// frame batches, and returns the transformed frames in order. Stages with
+// internal state carry it across calls. Faults are injected between
+// Process calls (epoch model).
+//
+// Input buffers stay caller-owned (the first processing position copies
+// into a pooled buffer), so callers may reuse the same input frames
+// across calls. Output buffers come from the engine's pool; returning
+// them via Recycle after use keeps the path allocation-free.
 func (e *Engine) Process(frames []Frame) []Frame {
 	// Sampled once per epoch: the per-frame clock reads below key off this
 	// local, so a disabled registry costs no time.Now() calls in the loop.
@@ -301,55 +324,42 @@ func (e *Engine) Process(frames []Frame) []Frame {
 		starts = make([]time.Time, len(frames))
 	}
 
-	L := len(e.assign)
-	chans := make([]chan Frame, L+1)
-	for i := range chans {
-		chans[i] = make(chan Frame, 4)
-	}
-	for i := 0; i < L; i++ {
-		go func(pos int) {
-			owned := e.assign[pos]
-			for f := range chans[pos] {
-				var work time.Time
-				if observing {
-					work = time.Now()
-				}
-				data := f.Data
-				for _, si := range owned {
-					data = e.stages[si].Process(data)
-				}
-				// Copy: stage output buffers are reused per instance.
-				out := Frame{Seq: f.Seq, Data: append([]float64(nil), data...)}
-				if observing {
-					e.stageTime.ObserveSince(work)
-					stall := time.Now()
-					chans[pos+1] <- out
-					e.sendStall.ObserveSince(stall)
-				} else {
-					chans[pos+1] <- out
-				}
-			}
-			close(chans[pos+1])
-		}(i)
-	}
+	c := e.newChain()
 	go func() {
-		for i, f := range frames {
-			if observing {
-				// Written before the send; the channel chain's happens-before
-				// edges make it visible to the collector below.
-				starts[i] = time.Now()
+		for i := 0; i < len(frames); {
+			n := len(frames) - i
+			if n > e.batchSize {
+				n = e.batchSize
 			}
-			chans[0] <- f
+			b := e.getBatch()
+			for j := 0; j < n; j++ {
+				if observing {
+					// Written before the send; the channel chain's
+					// happens-before edges make it visible to the collector.
+					starts[i+j] = time.Now()
+				}
+				f := frames[i+j]
+				b.toks = append(b.toks, token{seq: f.Seq, data: f.Data})
+			}
+			e.batchOcc.Observe(int64(n))
+			c.head <- b
+			i += n
 		}
-		close(chans[0])
+		close(c.head)
 	}()
 	out := make([]Frame, 0, len(frames))
-	for f := range chans[L] {
-		if observing {
-			// Frames exit in input order, so out position == input index.
-			e.frameLat.ObserveSince(starts[len(out)])
+	for b := range c.tail {
+		for i := range b.toks {
+			t := b.toks[i]
+			if observing {
+				// Frames exit in input order, so out position == input index.
+				e.frameLat.ObserveSince(starts[len(out)])
+			}
+			// The caller owns the delivered buffer; keep the wrapper.
+			e.pool.release(t.buf)
+			out = append(out, Frame{Seq: t.seq, Data: t.data})
 		}
-		out = append(out, f)
+		e.putBatch(b)
 	}
 	e.frames.Add(int64(len(out)))
 	e.framesTotal.Add(int64(len(out)))
@@ -379,7 +389,12 @@ func (e *Engine) ProcessSequential(frames []Frame) []Frame {
 				data = e.stages[si].Process(data)
 			}
 		}
-		out = append(out, Frame{Seq: f.Seq, Data: append([]float64(nil), data...)})
+		// Detach from the last stage's scratch. The reference path allocates
+		// plainly on purpose: it is what the batched transport is audited
+		// against, not part of the hot path.
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		out = append(out, Frame{Seq: f.Seq, Data: cp})
 		if observing {
 			e.frameLat.ObserveSince(start)
 		}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package pipeline_test
+
+// raceDetector reports whether the race detector is active.
+const raceDetector = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package pipeline_test
+
+// raceDetector reports whether the race detector is active. Under -race,
+// sync.Pool randomly discards Puts to shake out lifecycle races, so tests
+// that pin pool determinism (reuse, zero allocations) skip themselves.
+const raceDetector = true

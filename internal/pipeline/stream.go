@@ -88,18 +88,21 @@ func (r StreamReport) Clean() bool {
 
 // token is a frame in flight, annotated with its stage progress so a
 // drained frame can resume on a new mapping without repeating or skipping
-// a stage.
+// a stage. buf is the pooled wrapper owning data's storage (nil while the
+// data is still caller-owned, as in epoch-mode Process inputs).
 type token struct {
 	seq  int
 	next int // first logical stage index not yet applied
 	data []float64
+	buf  *fbuf
 }
 
 // chain is one incarnation of the goroutine-per-processor pipeline.
+// Tokens travel it in pooled frameBatch carriers (see batch.go).
 type chain struct {
-	head     chan token
-	tail     chan token
-	draining atomic.Bool // workers pass tokens through untouched when set
+	head     chan *frameBatch
+	tail     chan *frameBatch
+	draining atomic.Bool // workers pass batches through untouched when set
 }
 
 type remapReq struct {
@@ -114,8 +117,9 @@ type remapReq struct {
 // Submit must be called with strictly increasing Frame.Seq, and must not
 // race with Close; all other methods are safe for concurrent use.
 type Stream struct {
-	e          *Engine
-	maxPending int
+	e           *Engine
+	maxPending  int
+	maxInflight int // frames admitted into the chain at once
 
 	submitc chan Frame
 	outc    chan Frame
@@ -131,10 +135,16 @@ type Stream struct {
 	totalDowntimeNS, maxDowntimeNS atomic.Int64
 
 	// Pump-owned state (no locking: only the run goroutine touches it).
-	pending []token // frames waiting to enter the chain; front = oldest
-	expect  []int   // seqs submitted but not yet delivered, FIFO
-	lastSeq int     // last emitted seq, for the inversion check
-	hasLast bool
+	// pending and expect are head-indexed rings: popping advances the head
+	// instead of reslicing, so the steady state reuses the same backing
+	// arrays instead of reallocating them.
+	pending  []token // frames waiting to enter the chain; front = oldest
+	pendHead int
+	expect   []int // seqs submitted but not yet delivered, FIFO
+	expHead  int
+	staged   *frameBatch // batch being assembled from the pending front
+	lastSeq  int         // last emitted seq, for the inversion check
+	hasLast  bool
 }
 
 // StartStream switches the engine into continuous streaming. Only one
@@ -144,18 +154,26 @@ func (e *Engine) StartStream(cfg StreamConfig) (*Stream, error) {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 64
 	}
-	// Out is sized so that the whole in-flight population (pending backlog
-	// plus chain occupancy) fits without blocking the pump; a slower
-	// consumer then backpressures naturally through the chain to Submit.
+	// The pump admits at most two batches per position into the chain —
+	// enough to keep every worker busy while keeping the in-flight
+	// population (and so the delivery buffer below) small and independent
+	// of the channel depth. Out is sized so that the whole population
+	// (pending backlog plus chain occupancy) fits; a slower consumer then
+	// backpressures naturally through the chain to Submit.
+	// submitc is buffered by one batch so a serial producer can run ahead
+	// of the pump and real batches form; without it every submission is a
+	// rendezvous and batches leave the head mostly single-frame.
 	nProc := len(e.g.Processors())
+	maxInflight := 2 * (nProc + 1) * e.batchSize
 	s := &Stream{
-		e:          e,
-		maxPending: cfg.MaxPending,
-		submitc:    make(chan Frame),
-		outc:       make(chan Frame, cfg.MaxPending+5*(nProc+1)),
-		remapc:     make(chan remapReq),
-		closec:     make(chan struct{}),
-		donec:      make(chan struct{}),
+		e:           e,
+		maxPending:  cfg.MaxPending,
+		maxInflight: maxInflight,
+		submitc:     make(chan Frame, e.batchSize),
+		outc:        make(chan Frame, cfg.MaxPending+maxInflight),
+		remapc:      make(chan remapReq),
+		closec:      make(chan struct{}),
+		donec:       make(chan struct{}),
 	}
 	if !e.stream.CompareAndSwap(nil, s) {
 		return nil, ErrStreamActive
@@ -167,7 +185,20 @@ func (e *Engine) StartStream(cfg StreamConfig) (*Stream, error) {
 // Submit queues one frame, blocking while the pending buffer is full —
 // including for the whole of a remap stall — and never dropping. Frames
 // must carry strictly increasing Seq.
+//
+// Submit transfers ownership of f.Data to the stream: the buffer is
+// recycled through the engine's pool and must not be retained or reused
+// by the producer. Lease submission buffers with Engine.GetBuffer (and
+// return delivered ones with Engine.Recycle) to stream without per-frame
+// allocations.
 func (s *Stream) Submit(f Frame) error {
+	// Checked first: submitc is buffered, so after the pump exits a send
+	// could otherwise succeed silently and strand the frame.
+	select {
+	case <-s.donec:
+		return ErrStreamClosed
+	default:
+	}
 	select {
 	case s.submitc <- f:
 		return nil
@@ -222,44 +253,131 @@ func (s *Stream) remap(repair bool, node int) error {
 	}
 }
 
+// pendingLen / expectLen are the live lengths of the head-indexed rings.
+func (s *Stream) pendingLen() int { return len(s.pending) - s.pendHead }
+func (s *Stream) expectLen() int  { return len(s.expect) - s.expHead }
+
+// pushPending appends a token, compacting the ring first when append
+// would otherwise grow the backing array past dead head entries.
+func (s *Stream) pushPending(t token) {
+	if s.pendHead > 0 && len(s.pending) == cap(s.pending) {
+		n := copy(s.pending, s.pending[s.pendHead:])
+		clear(s.pending[n:])
+		s.pending = s.pending[:n]
+		s.pendHead = 0
+	}
+	s.pending = append(s.pending, t)
+}
+
+func (s *Stream) pushExpect(seq int) {
+	if s.expHead > 0 && len(s.expect) == cap(s.expect) {
+		n := copy(s.expect, s.expect[s.expHead:])
+		s.expect = s.expect[:n]
+		s.expHead = 0
+	}
+	s.expect = append(s.expect, seq)
+}
+
+// dropPending removes the n oldest pending tokens (they entered the
+// chain), resetting the ring when it empties.
+func (s *Stream) dropPending(n int) {
+	s.pendHead += n
+	if s.pendHead == len(s.pending) {
+		clear(s.pending)
+		s.pending = s.pending[:0]
+		s.pendHead = 0
+	}
+}
+
+// accept takes ownership of one submitted frame.
+func (s *Stream) accept(f Frame) {
+	s.pushPending(token{seq: f.Seq, data: f.Data, buf: s.e.pool.wrap(f.Data)})
+	s.pushExpect(f.Seq)
+	s.submitted.Add(1)
+}
+
+// drainSubmitc non-blockingly accepts buffered submissions; bound caps
+// the pending backlog (0 = drain everything, as at close).
+func (s *Stream) drainSubmitc(bound int) {
+	for bound == 0 || s.pendingLen() < bound {
+		select {
+		case f := <-s.submitc:
+			s.accept(f)
+		default:
+			return
+		}
+	}
+}
+
+// stageBatch assembles (or refreshes) the batch offered to the chain head
+// from the front of the pending ring. The carrier is rebuilt each loop
+// iteration, so a remap or new submission between offers never leaves a
+// stale token staged.
+func (s *Stream) stageBatch(n int) *frameBatch {
+	if s.staged == nil {
+		s.staged = s.e.getBatch()
+	}
+	if n > s.e.batchSize {
+		n = s.e.batchSize
+	}
+	s.staged.toks = append(s.staged.toks[:0], s.pending[s.pendHead:s.pendHead+n]...)
+	return s.staged
+}
+
 // run is the pump: the single goroutine that feeds the chain head, drains
 // the tail, and serializes remaps against frame movement.
 func (s *Stream) run() {
 	defer close(s.donec)
-	c := s.e.newChain()
+	e := s.e
+	c := e.newChain()
 	inflight := 0
 	closing := false
 	closec := s.closec
 	for {
-		if closing && len(s.pending) == 0 && inflight == 0 {
+		if closing && s.pendingLen() == 0 && inflight == 0 {
 			break
 		}
-		var headc chan token
-		var tok token
-		if len(s.pending) > 0 {
-			headc, tok = c.head, s.pending[0]
+		var headc chan *frameBatch
+		var nb *frameBatch
+		if n := s.pendingLen(); n > 0 && inflight < s.maxInflight {
+			nb = s.stageBatch(n)
+			headc = c.head
 		}
 		submitc := s.submitc
-		if closing || len(s.pending) >= s.maxPending {
+		if closing || s.pendingLen() >= s.maxPending {
 			submitc = nil // backpressure: stop accepting until the backlog drains
 		}
 		select {
 		case <-closec:
 			closing = true
 			closec = nil // take this branch once
+			// Submissions buffered in submitc were accepted (Submit returned
+			// nil) before Close; drain and account them so none strands.
+			s.drainSubmitc(0)
 		case f := <-submitc:
-			s.pending = append(s.pending, token{seq: f.Seq, data: f.Data})
-			s.expect = append(s.expect, f.Seq)
-			s.submitted.Add(1)
-		case headc <- tok:
-			s.pending = s.pending[1:]
-			inflight++
-		case t := <-c.tail:
-			inflight--
-			s.emit(t)
+			s.accept(f)
+			// Greedily drain what the producer buffered meanwhile, so the
+			// next staged batch reflects the real backlog.
+			s.drainSubmitc(s.maxPending)
+		case headc <- nb:
+			n := len(nb.toks)
+			s.dropPending(n)
+			inflight += n
+			s.staged = nil // ownership moved to the chain
+			e.batchOcc.Observe(int64(n))
+		case b := <-c.tail:
+			inflight -= len(b.toks)
+			for i := range b.toks {
+				s.emit(b.toks[i])
+			}
+			e.putBatch(b)
 		case req := <-s.remapc:
 			c = s.handleRemap(c, &inflight, req)
 		}
+	}
+	if s.staged != nil {
+		e.putBatch(s.staged)
+		s.staged = nil
 	}
 	close(c.head)
 	for range c.tail {
@@ -267,9 +385,9 @@ func (s *Stream) run() {
 		// the workers can always exit.
 	}
 	// Anything still expected was never delivered: lost (zero when clean).
-	s.lost.Add(int64(len(s.expect)))
-	s.e.frameLoss.Set(int64(len(s.expect)))
-	if n := len(s.expect); n > 0 {
+	s.lost.Add(int64(s.expectLen()))
+	s.e.frameLoss.Set(int64(s.expectLen()))
+	if n := s.expectLen(); n > 0 {
 		span.Trip(span.AnomalyFrameLoss, fmt.Sprintf("stream closed with %d undelivered frames", n))
 	}
 	close(s.outc)
@@ -291,14 +409,21 @@ func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	drained := *inflight
 	c.draining.Store(true)
 	close(c.head)
+	// In-flight batches explode back to individual frames here: each token
+	// already carries its stage progress, so batching is invisible to the
+	// drain/requeue contract.
 	var requeue []token
-	for t := range c.tail {
-		*inflight--
-		if t.next >= len(e.stages) {
-			s.emit(t) // finished before the drain caught it
-		} else {
-			requeue = append(requeue, t)
+	for b := range c.tail {
+		*inflight -= len(b.toks)
+		for i := range b.toks {
+			t := b.toks[i]
+			if t.next >= len(e.stages) {
+				s.emit(t) // finished before the drain caught it
+			} else {
+				requeue = append(requeue, t)
+			}
 		}
+		e.putBatch(b)
 	}
 	// Tokens leave the chain oldest-first already; sort defensively — the
 	// requeue MUST resume in submission order or stateful stages corrupt.
@@ -317,7 +442,11 @@ func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	// 3. Requeue unfinished frames ahead of the backlog.
 	rq := span.Start(root, "requeue")
 	if len(requeue) > 0 {
-		s.pending = append(requeue, s.pending...)
+		live := s.pending[s.pendHead:]
+		np := make([]token, 0, len(requeue)+len(live))
+		np = append(np, requeue...)
+		np = append(np, live...)
+		s.pending, s.pendHead = np, 0
 		s.requeued.Add(int64(len(requeue)))
 		e.framesRequeued.Add(int64(len(requeue)))
 	}
@@ -339,7 +468,7 @@ func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	e.remapDowntime.ObserveDuration(d)
 	// With the chain empty every undelivered frame must be queued; the
 	// difference is the loss gauge, and it must read zero.
-	loss := int64(len(s.expect) - len(s.pending))
+	loss := int64(s.expectLen() - s.pendingLen())
 	e.frameLoss.Set(loss)
 	root.SetInt("downtime_ns", int64(d))
 	finishRemapSpan(root, start, err)
@@ -359,15 +488,18 @@ func (s *Stream) emit(t token) {
 	}
 	s.hasLast, s.lastSeq = true, t.seq
 	matched := false
-	for len(s.expect) > 0 && s.expect[0] <= t.seq {
-		if s.expect[0] == t.seq {
-			s.expect = s.expect[1:]
+	for s.expHead < len(s.expect) && s.expect[s.expHead] <= t.seq {
+		if s.expect[s.expHead] == t.seq {
+			s.expHead++
 			matched = true
 			break
 		}
-		s.expect = s.expect[1:]
+		s.expHead++
 		s.lost.Add(1)
 		span.Trip(span.AnomalyFrameLoss, fmt.Sprintf("sink audit: gap before seq %d", t.seq))
+	}
+	if s.expHead == len(s.expect) {
+		s.expect, s.expHead = s.expect[:0], 0
 	}
 	if !matched {
 		s.duplicated.Add(1)
@@ -376,45 +508,8 @@ func (s *Stream) emit(t token) {
 	s.delivered.Add(1)
 	s.e.frames.Add(1)
 	s.e.framesTotal.Add(1)
+	// The consumer owns the delivered buffer from here (Engine.Recycle
+	// returns it to the pool); only the wrapper stays behind.
+	s.e.pool.release(t.buf)
 	s.outc <- Frame{Seq: t.seq, Data: t.data}
-}
-
-// newChain spins up one goroutine per pipeline position over the current
-// stage assignment, wired by small buffered channels.
-func (e *Engine) newChain() *chain {
-	L := len(e.assign)
-	chans := make([]chan token, L+1)
-	for i := range chans {
-		chans[i] = make(chan token, 4)
-	}
-	c := &chain{head: chans[0], tail: chans[L]}
-	for pos := 0; pos < L; pos++ {
-		go e.chainWorker(c, chans[pos], chans[pos+1], e.assign[pos])
-	}
-	return c
-}
-
-// chainWorker applies the owned logical stages a token has not yet seen
-// (token.next skips the ones applied before a previous remap) and
-// forwards it; while the chain drains it passes tokens through untouched.
-func (e *Engine) chainWorker(c *chain, in <-chan token, out chan<- token, owned []int) {
-	S := len(e.stages)
-	for t := range in {
-		if !c.draining.Load() && t.next < S {
-			processed := false
-			for _, si := range owned {
-				if si >= t.next {
-					t.data = e.stages[si].Process(t.data)
-					t.next = si + 1
-					processed = true
-				}
-			}
-			if processed {
-				// Stage output buffers are reused per instance; detach.
-				t.data = append([]float64(nil), t.data...)
-			}
-		}
-		out <- t
-	}
-	close(out)
 }

@@ -192,12 +192,19 @@ func Frames(g Generator, count, size, firstSeq int) []pipeline.Frame {
 	out := make([]pipeline.Frame, count)
 	for i := range out {
 		data := make([]float64, size)
-		for j := range data {
-			data[j] = g.Next()
-		}
+		Fill(g, data)
 		out[i] = pipeline.Frame{Seq: firstSeq + i, Data: data}
 	}
 	return out
+}
+
+// Fill draws len(data) samples from the generator into data in place —
+// the pooled-buffer variant of Frames: a producer that leases frame
+// storage from the engine pool fills it here without allocating.
+func Fill(g Generator, data []float64) {
+	for i := range data {
+		data[i] = g.Next()
+	}
 }
 
 // Video returns the composite stream used by the streaming experiments: a
