@@ -50,6 +50,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON blob (report + metrics) on stdout")
 		raceEng  = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets (verdict-identical, often faster)")
 		failFast = flag.Bool("fail-fast", false, "exhaustive mode: stop the sweep at the first counterexample")
+		summary  = flag.String("summary", "", "write the canonical verdict summary to this file (diffable against gdpfleet serve -summary)")
 		addr     = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/spans, /slo on this address during the run")
 	)
 	tf := telemetry.Register()
@@ -109,6 +110,11 @@ func main() {
 		rep = verify.Random(g, *k, *trials, *seed, opts)
 	} else {
 		rep = verify.Exhaustive(g, *k, opts)
+	}
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(rep.VerdictSummary()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	if *jsonOut {
 		out := struct {

@@ -177,6 +177,20 @@ func (t *TierStats) Add(other TierStats) {
 	t.Trivial += other.Trivial
 }
 
+// Sub returns t minus other, field by field. It turns two cumulative
+// Solver.Stats snapshots into the per-interval delta — how a shard or
+// chunk of work was resolved — without resetting the solver.
+func (t TierStats) Sub(other TierStats) TierStats {
+	return TierStats{
+		Planner:    t.Planner - other.Planner,
+		Compressed: t.Compressed - other.Compressed,
+		Probe:      t.Probe - other.Probe,
+		DP:         t.DP - other.DP,
+		Full:       t.Full - other.Full,
+		Trivial:    t.Trivial - other.Trivial,
+	}
+}
+
 // Publish exports the stats as embed_tier_stats{tier=...} gauges on reg —
 // the division-of-labour view at /metrics. Gauges accumulate across
 // Publish calls (a verification run publishes its workers' totals once at

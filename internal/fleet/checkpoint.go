@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gdpn/internal/verify"
+)
+
+// ChunkState is one chunk's durable record: its shard coordinates and,
+// once complete, every accepted verdict copy. Only fully-complete chunks
+// (all Redundancy copies in, digests compared) are marked Done; a chunk
+// interrupted mid-verification leaves no partial state, so resume never
+// double-counts or half-counts a chunk.
+type ChunkState struct {
+	ID    int          `json:"id"`
+	Shard verify.Shard `json:"shard"`
+	Done  bool         `json:"done"`
+	// Reports holds the accepted verdict copies (len == Redundancy when
+	// Done). Merging uses only the first — the digest cross-check already
+	// proved the copies agree (or recorded a mismatch).
+	Reports []*verify.Report `json:"reports,omitempty"`
+	// Digests are the canonical verdict digests of Reports, kept so a
+	// resumed coordinator can re-compare without re-deriving.
+	Digests []string `json:"digests,omitempty"`
+	// DoneBy lists the workers whose copies were accepted.
+	DoneBy []string `json:"done_by,omitempty"`
+}
+
+// Checkpoint is the coordinator's durable progress file: the job spec it
+// was started with plus per-chunk completion state. It is written
+// atomically (temp file + rename) after every chunk completion, so a
+// SIGKILLed coordinator restarted on the same path resumes from the last
+// completed chunk instead of re-enumerating.
+type Checkpoint struct {
+	Spec   JobSpec      `json:"spec"`
+	Chunks []ChunkState `json:"chunks"`
+}
+
+// Save writes the checkpoint atomically: a rename either fully replaces
+// the previous file or leaves it untouched, so a reader (or a resuming
+// coordinator) never sees a torn checkpoint.
+func (c *Checkpoint) Save(path string) error {
+	b, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return fmt.Errorf("fleet: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("fleet: decode checkpoint %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// CompletedChunks counts the Done chunks.
+func (c *Checkpoint) CompletedChunks() int {
+	n := 0
+	for i := range c.Chunks {
+		if c.Chunks[i].Done {
+			n++
+		}
+	}
+	return n
+}
+
+// MergedReport merges one verdict copy per Done chunk into a single
+// report. Because verify.MergeReports is commutative and associative,
+// the result is independent of chunk order, completion order, and how
+// many save/load cycles the checkpoint went through — the property the
+// round-trip tests pin.
+func (c *Checkpoint) MergedReport(graphName string, k, maxRec int) *verify.Report {
+	rep := &verify.Report{GraphName: graphName, K: k}
+	for i := range c.Chunks {
+		ch := &c.Chunks[i]
+		if !ch.Done || len(ch.Reports) == 0 {
+			continue
+		}
+		verify.MergeReports(rep, ch.Reports[0], maxRec)
+	}
+	return rep
+}
+
+// Digest canonically summarizes the verdict-relevant fields of a chunk
+// report: everything the enumeration decides, nothing that timing or
+// scheduling decides. Two correct solvers verifying the same chunk must
+// produce equal digests; an inequality therefore flags a solver bug (or
+// a corrupted worker), not an expected divergence.
+func Digest(rep *verify.Report) string {
+	b, err := json.Marshal(struct {
+		Checked     int64                   `json:"c"`
+		Represented int64                   `json:"r"`
+		Failures    int64                   `json:"f"`
+		Unknowns    int64                   `json:"u"`
+		FRecs       []verify.FaultSetRecord `json:"fr,omitempty"`
+		URecs       []verify.FaultSetRecord `json:"ur,omitempty"`
+		Bugs        []verify.FaultSetRecord `json:"bg,omitempty"`
+	}{rep.Checked, rep.Represented, rep.FailureCount, rep.UnknownCount,
+		rep.Failures, rep.Unknowns, rep.SolverBugs})
+	if err != nil {
+		// Marshal of these plain structs cannot fail; keep the signature
+		// ergonomic for callers.
+		return "unencodable:" + err.Error()
+	}
+	return string(b)
+}

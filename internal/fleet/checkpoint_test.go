@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gdpn/internal/verify"
+)
+
+// randomReport builds a structurally plausible partial report with
+// random counters and record lists; interrupted partials appear too,
+// since a resumed coordinator may merge checkpoints that include them
+// (they are rejected at the complete handler, but the merge itself must
+// still be total and deterministic).
+func randomReport(rng *rand.Rand) *verify.Report {
+	rep := &verify.Report{
+		GraphName:   "G(test)",
+		K:           3,
+		Checked:     rng.Int63n(100),
+		Represented: rng.Int63n(1000),
+		Interrupted: rng.Intn(8) == 0,
+	}
+	nRecs := func() int { return rng.Intn(4) }
+	randRec := func(msg string) verify.FaultSetRecord {
+		nodes := make([]int, 1+rng.Intn(3))
+		for i := range nodes {
+			nodes[i] = rng.Intn(20)
+		}
+		return verify.FaultSetRecord{Nodes: nodes, Err: msg}
+	}
+	for i := 0; i < nRecs(); i++ {
+		rep.Failures = append(rep.Failures, randRec("no pipeline"))
+		rep.FailureCount++
+	}
+	for i := 0; i < nRecs(); i++ {
+		rep.Unknowns = append(rep.Unknowns, randRec("budget exhausted"))
+		rep.UnknownCount++
+	}
+	return rep
+}
+
+// Property test: checkpoint save/load round-trips exactly, and merging
+// the partial reports is idempotent across save/load cycles and
+// independent of chunk order — the two properties resume soundness
+// rests on.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		nChunks := 1 + rng.Intn(12)
+		ck := &Checkpoint{
+			Spec:   JobSpec{N: 3, K: 3, Redundancy: 1 + rng.Intn(2), ChunkRanks: 64}.withDefaults(),
+			Chunks: make([]ChunkState, nChunks),
+		}
+		for i := range ck.Chunks {
+			st := ChunkState{ID: i, Shard: verify.Shard{Size: rng.Intn(4), From: int64(i) * 64, To: int64(i+1) * 64}}
+			if rng.Intn(3) > 0 { // ~2/3 of chunks completed
+				st.Done = true
+				for c := 0; c < ck.Spec.Redundancy; c++ {
+					rep := randomReport(rng)
+					st.Reports = append(st.Reports, rep)
+					st.Digests = append(st.Digests, Digest(rep))
+					st.DoneBy = append(st.DoneBy, fmt.Sprintf("w%d", c))
+				}
+			}
+			ck.Chunks[i] = st
+		}
+
+		// Round-trip: load(save(ck)) must reproduce ck exactly.
+		path := filepath.Join(dir, fmt.Sprintf("ck-%d.json", trial))
+		if err := ck.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(ck)
+		b, _ := json.Marshal(loaded)
+		if string(a) != string(b) {
+			t.Fatalf("trial %d: checkpoint changed across save/load:\n%s\nvs\n%s", trial, a, b)
+		}
+
+		// Idempotence: a second save/load cycle merges identically.
+		if err := loaded.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		reloaded, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := ck.MergedReport("G(test)", 3, 0)
+		cycled := reloaded.MergedReport("G(test)", 3, 0)
+		if !reflect.DeepEqual(base, cycled) {
+			t.Fatalf("trial %d: merge changed across a save/load cycle:\n%+v\nvs\n%+v", trial, base, cycled)
+		}
+
+		// Order independence: merging the chunks in any order is the same.
+		shuffled := &Checkpoint{Spec: loaded.Spec, Chunks: append([]ChunkState(nil), loaded.Chunks...)}
+		rng.Shuffle(len(shuffled.Chunks), func(i, j int) {
+			shuffled.Chunks[i], shuffled.Chunks[j] = shuffled.Chunks[j], shuffled.Chunks[i]
+		})
+		if got := shuffled.MergedReport("G(test)", 3, 0); !reflect.DeepEqual(base, got) {
+			t.Fatalf("trial %d: chunk order changed the merged report:\n%+v\nvs\n%+v", trial, base, got)
+		}
+	}
+}
+
+// Digest must ignore scheduling-dependent fields (duration, steals,
+// tiers) and catch verdict-relevant differences.
+func TestDigest(t *testing.T) {
+	a := &verify.Report{Checked: 10, Represented: 20, Duration: 123, Steals: 4}
+	b := &verify.Report{Checked: 10, Represented: 20, Duration: 456, Steals: 9}
+	if Digest(a) != Digest(b) {
+		t.Error("digest depends on scheduling fields")
+	}
+	c := &verify.Report{Checked: 10, Represented: 20, FailureCount: 1,
+		Failures: []verify.FaultSetRecord{{Nodes: []int{3}, Err: "no pipeline"}}}
+	if Digest(a) == Digest(c) {
+		t.Error("digest missed a verdict difference")
+	}
+}

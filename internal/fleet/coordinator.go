@@ -1,0 +1,507 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"gdpn/internal/graph"
+	"gdpn/internal/obs"
+	"gdpn/internal/obs/span"
+	"gdpn/internal/verify"
+)
+
+// DefaultLeaseTTL is the chunk lease duration used when Config.LeaseTTL
+// is zero. A worker that has not completed or heartbeat-renewed a chunk
+// within the TTL is presumed dead or straggling and the chunk re-leases.
+const DefaultLeaseTTL = 10 * time.Second
+
+// Config configures a Coordinator.
+type Config struct {
+	// Spec is the verification instance to shard.
+	Spec JobSpec
+	// LeaseTTL is the chunk lease duration (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// CheckpointPath enables durable progress: the coordinator loads the
+	// file on start (resuming if it matches Spec) and rewrites it
+	// atomically after every chunk completion. "" disables checkpointing.
+	CheckpointPath string
+	// MaxRecorded caps the merged report's record lists (0 = 16, the
+	// verify default — keep it equal to the single-process run's cap so
+	// verdict summaries stay byte-identical).
+	MaxRecorded int
+}
+
+// Coordinator owns the shard ledger of one sweep: it leases chunks to
+// workers over HTTP, reclaims leases from dead workers, cross-checks
+// redundant verdicts, checkpoints completed chunks, and merges the
+// partial reports into the final verdict. All state transitions happen
+// under one mutex; the handlers are safe for concurrent use.
+type Coordinator struct {
+	cfg  Config
+	spec JobSpec
+	g    *graph.Graph
+
+	leasedC   *obs.Counter
+	doneC     *obs.Counter
+	releasedC *obs.Counter
+	mismatchC *obs.Counter
+	liveG     *obs.Gauge
+	ckptAgeG  *obs.Gauge
+
+	mu           sync.Mutex
+	chunks       []*chunk
+	remaining    int
+	workers      map[string]*workerState
+	leases       int64
+	releases     int64
+	mismatches   int64
+	mismatchRecs []verify.FaultSetRecord
+	resumed      bool
+	lastCkpt     time.Time
+	start        time.Time
+	result       *Result
+	done         chan struct{}
+}
+
+// chunk is the coordinator-side state of one shard.
+type chunk struct {
+	id      int
+	shard   verify.Shard
+	holders map[string]time.Time // active leases: worker → expiry
+	reports []*verify.Report     // accepted verdict copies
+	digests []string
+	doneBy  []string
+	done    bool
+	sp      *span.S // chunk lifecycle span, started at first lease
+}
+
+type workerState struct {
+	lastSeen time.Time
+}
+
+// NewCoordinator builds the shard ledger for cfg.Spec — resuming from
+// cfg.CheckpointPath when a compatible checkpoint exists — but serves
+// nothing until its Handler is mounted.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg.Spec = cfg.Spec.withDefaults()
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxRecorded <= 0 {
+		cfg.MaxRecorded = 16
+	}
+	inst, err := cfg.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	shards := verify.Shards(inst.Graph, cfg.Spec.K, inst.Opts.Universe, cfg.Spec.ChunkRanks)
+	reg := obs.Default()
+	c := &Coordinator{
+		cfg:       cfg,
+		spec:      cfg.Spec,
+		g:         inst.Graph,
+		leasedC:   reg.Counter("fleet_chunks_leased_total"),
+		doneC:     reg.Counter("fleet_chunks_completed_total"),
+		releasedC: reg.Counter("fleet_chunks_released_total"),
+		mismatchC: reg.Counter("fleet_verdict_mismatch_total"),
+		liveG:     reg.Gauge("fleet_workers_live"),
+		ckptAgeG:  reg.Gauge("fleet_checkpoint_age_ms"),
+		workers:   map[string]*workerState{},
+		start:     time.Now(),
+		done:      make(chan struct{}),
+	}
+	for i, sh := range shards {
+		c.chunks = append(c.chunks, &chunk{id: i, shard: sh, holders: map[string]time.Time{}})
+	}
+	c.remaining = len(c.chunks)
+	if cfg.CheckpointPath != "" {
+		if err := c.restore(); err != nil {
+			return nil, err
+		}
+	}
+	if c.remaining == 0 {
+		// Fully-complete checkpoint: finalize immediately so Final (and
+		// late-joining workers) see a done sweep.
+		c.finalizeLocked()
+	}
+	return c, nil
+}
+
+// restore loads the checkpoint (if present), validates it against the
+// spec and shard plan, and marks its Done chunks complete.
+func (c *Coordinator) restore() error {
+	ck, err := LoadCheckpoint(c.cfg.CheckpointPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // fresh sweep; first completion creates the file
+		}
+		return err
+	}
+	if ck.Spec != c.spec {
+		return fmt.Errorf("fleet: checkpoint %s is for a different instance (%+v, want %+v)",
+			c.cfg.CheckpointPath, ck.Spec, c.spec)
+	}
+	if len(ck.Chunks) != len(c.chunks) {
+		return fmt.Errorf("fleet: checkpoint %s has %d chunks, shard plan has %d",
+			c.cfg.CheckpointPath, len(ck.Chunks), len(c.chunks))
+	}
+	for i := range ck.Chunks {
+		st := &ck.Chunks[i]
+		ch := c.chunks[i]
+		if st.ID != ch.id || st.Shard != ch.shard {
+			return fmt.Errorf("fleet: checkpoint %s chunk %d does not match the shard plan",
+				c.cfg.CheckpointPath, i)
+		}
+		if !st.Done {
+			continue
+		}
+		ch.reports = st.Reports
+		ch.digests = st.Digests
+		ch.doneBy = st.DoneBy
+		ch.done = true
+		c.remaining--
+	}
+	c.resumed = true
+	c.lastCkpt = time.Now()
+	return nil
+}
+
+// Handler returns the coordinator's HTTP API under /v1/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/job", c.handleJob)
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.HandleFunc("/v1/complete", c.handleComplete)
+	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/status", c.handleStatus)
+	return mux
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, JobResponse{Spec: c.spec, LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.lease(req.WorkerID))
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, CompleteResponse{Accepted: c.complete(req)})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.heartbeat(req))
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Status())
+}
+
+// lease grants the requesting worker a chunk. Two passes: the strict one
+// refuses to give a worker a chunk it already holds or already completed
+// a copy of (redundant copies from distinct workers catch more classes
+// of bug); the relaxed one drops the completed-a-copy restriction so a
+// fleet smaller than Redundancy still makes progress.
+func (c *Coordinator) lease(workerID string) LeaseResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(workerID, now)
+	c.expireLeases(now)
+	if c.remaining == 0 {
+		return LeaseResponse{Done: true}
+	}
+	ch := c.leasable(workerID, true)
+	if ch == nil {
+		ch = c.leasable(workerID, false)
+	}
+	if ch == nil {
+		return LeaseResponse{Wait: true}
+	}
+	ch.holders[workerID] = now.Add(c.cfg.LeaseTTL)
+	c.leases++
+	c.leasedC.Inc()
+	if ch.sp == nil {
+		ch.sp = span.Start(nil, "fleet-chunk")
+		ch.sp.SetInt("chunk", int64(ch.id)).SetInt("size", int64(ch.shard.Size)).
+			SetInt("from", ch.shard.From).SetInt("ranks", ch.shard.Ranks())
+	}
+	ch.sp.Eventf("lease", "worker=%s copy=%d", workerID, len(ch.reports)+len(ch.holders))
+	return LeaseResponse{ChunkID: ch.id, Shard: ch.shard}
+}
+
+func (c *Coordinator) leasable(workerID string, strict bool) *chunk {
+	for _, ch := range c.chunks {
+		if ch.done || len(ch.reports)+len(ch.holders) >= c.spec.Redundancy {
+			continue
+		}
+		if _, holds := ch.holders[workerID]; holds {
+			continue
+		}
+		if strict && contains(ch.doneBy, workerID) {
+			continue
+		}
+		return ch
+	}
+	return nil
+}
+
+// complete accepts one chunk verdict copy. Late copies (the chunk
+// already completed via redundancy or a re-lease) and interrupted
+// partials are not accepted — the worker just moves on; soundness never
+// depends on which copy won. Completion of the final copy cross-checks
+// the duplicate digests, persists the checkpoint, and — for the last
+// chunk — finalizes the merged report.
+func (c *Coordinator) complete(req CompleteRequest) bool {
+	if req.Report == nil || req.ChunkID < 0 || req.ChunkID >= len(c.chunks) {
+		return false
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.WorkerID, now)
+	ch := c.chunks[req.ChunkID]
+	delete(ch.holders, req.WorkerID)
+	if ch.done || req.Report.Interrupted {
+		return false
+	}
+	ch.reports = append(ch.reports, req.Report)
+	ch.digests = append(ch.digests, Digest(req.Report))
+	ch.doneBy = append(ch.doneBy, req.WorkerID)
+	if ch.sp != nil {
+		ch.sp.Eventf("complete", "worker=%s copies=%d/%d", req.WorkerID, len(ch.reports), c.spec.Redundancy)
+	}
+	if len(ch.reports) < c.spec.Redundancy {
+		return true
+	}
+
+	status := span.OK
+	for i := 1; i < len(ch.digests); i++ {
+		if ch.digests[i] != ch.digests[0] {
+			c.mismatches++
+			c.mismatchC.Inc()
+			c.mismatchRecs = append(c.mismatchRecs, verify.FaultSetRecord{
+				Err: fmt.Sprintf("fleet: chunk %d (size=%d ranks=[%d,%d)): duplicate verdicts disagree (workers %v)",
+					ch.id, ch.shard.Size, ch.shard.From, ch.shard.To, ch.doneBy),
+			})
+			span.Trip(span.AnomalySolverBug,
+				fmt.Sprintf("fleet: chunk %d duplicate verdict mismatch", ch.id))
+			status = span.Errored
+			break
+		}
+	}
+	ch.done = true
+	c.remaining--
+	c.doneC.Inc()
+	if ch.sp != nil {
+		ch.sp.End(status)
+		ch.sp = nil
+	}
+	c.checkpointLocked()
+	if c.remaining == 0 {
+		c.finalizeLocked()
+	}
+	return true
+}
+
+func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.WorkerID, now)
+	c.expireLeases(now)
+	var resp HeartbeatResponse
+	for _, id := range req.ChunkIDs {
+		if id < 0 || id >= len(c.chunks) {
+			continue
+		}
+		ch := c.chunks[id]
+		if _, holds := ch.holders[req.WorkerID]; holds && !ch.done {
+			ch.holders[req.WorkerID] = now.Add(c.cfg.LeaseTTL)
+		} else {
+			resp.Lost = append(resp.Lost, id)
+		}
+	}
+	return resp
+}
+
+// expireLeases reclaims leases whose holders went quiet: the chunk
+// becomes leasable again immediately. Called under mu from every request
+// path, so a dead worker's chunks re-lease as soon as any live worker
+// next asks for work — no background reaper thread to die with the
+// coordinator.
+func (c *Coordinator) expireLeases(now time.Time) {
+	for _, ch := range c.chunks {
+		if ch.done {
+			continue
+		}
+		for worker, expiry := range ch.holders {
+			if now.After(expiry) {
+				delete(ch.holders, worker)
+				c.releases++
+				c.releasedC.Inc()
+				if ch.sp != nil {
+					ch.sp.Eventf("release", "worker=%s lease expired", worker)
+				}
+			}
+		}
+	}
+}
+
+func (c *Coordinator) touch(workerID string, now time.Time) {
+	ws := c.workers[workerID]
+	if ws == nil {
+		ws = &workerState{}
+		c.workers[workerID] = ws
+	}
+	ws.lastSeen = now
+}
+
+// checkpointLocked persists the current chunk ledger. Failures are
+// recorded on the status (age stays stale) but do not abort the sweep:
+// a missing checkpoint only costs resume granularity, never soundness.
+func (c *Coordinator) checkpointLocked() {
+	if c.cfg.CheckpointPath == "" {
+		return
+	}
+	ck := &Checkpoint{Spec: c.spec, Chunks: make([]ChunkState, len(c.chunks))}
+	for i, ch := range c.chunks {
+		st := ChunkState{ID: ch.id, Shard: ch.shard, Done: ch.done}
+		if ch.done {
+			st.Reports = ch.reports
+			st.Digests = ch.digests
+			st.DoneBy = ch.doneBy
+		}
+		ck.Chunks[i] = st
+	}
+	if err := ck.Save(c.cfg.CheckpointPath); err == nil {
+		c.lastCkpt = time.Now()
+		c.ckptAgeG.Set(0)
+	}
+}
+
+// finalizeLocked merges one verdict copy per chunk (commutative, so the
+// completion order that actually happened is irrelevant), appends any
+// redundancy-mismatch records as solver bugs, and publishes the result.
+func (c *Coordinator) finalizeLocked() {
+	rep := &verify.Report{GraphName: c.g.Name(), K: c.spec.K}
+	for _, ch := range c.chunks {
+		if len(ch.reports) > 0 {
+			verify.MergeReports(rep, ch.reports[0], c.cfg.MaxRecorded)
+		}
+	}
+	if len(c.mismatchRecs) > 0 {
+		verify.MergeReports(rep, &verify.Report{SolverBugs: c.mismatchRecs}, c.cfg.MaxRecorded)
+	}
+	rep.Duration = time.Since(c.start)
+	c.result = &Result{
+		Report:          rep,
+		Resumed:         c.resumed,
+		ChunksTotal:     len(c.chunks),
+		ChunksCompleted: len(c.chunks) - c.remaining,
+		Leases:          c.leases,
+		Releases:        c.releases,
+		Mismatches:      c.mismatches,
+		WorkersSeen:     len(c.workers),
+		Redundancy:      c.spec.Redundancy,
+	}
+	close(c.done)
+}
+
+// Status snapshots the live sweep accounting and refreshes the liveness
+// and checkpoint-age gauges.
+func (c *Coordinator) Status() Status {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases(now)
+	st := Status{
+		Done:            c.remaining == 0,
+		Resumed:         c.resumed,
+		ChunksTotal:     len(c.chunks),
+		ChunksCompleted: len(c.chunks) - c.remaining,
+		Leases:          c.leases,
+		Releases:        c.releases,
+		Mismatches:      c.mismatches,
+		WorkersSeen:     len(c.workers),
+		CheckpointAgeMS: -1,
+	}
+	for _, ch := range c.chunks {
+		if !ch.done && len(ch.holders) > 0 {
+			st.ChunksLeased++
+		}
+	}
+	for _, ws := range c.workers {
+		if now.Sub(ws.lastSeen) <= c.cfg.LeaseTTL {
+			st.WorkersLive++
+		}
+	}
+	if !c.lastCkpt.IsZero() {
+		st.CheckpointAgeMS = now.Sub(c.lastCkpt).Milliseconds()
+	}
+	c.liveG.Set(int64(st.WorkersLive))
+	if st.CheckpointAgeMS >= 0 {
+		c.ckptAgeG.Set(st.CheckpointAgeMS)
+	}
+	return st
+}
+
+// Resumed reports whether the coordinator started from a checkpoint.
+func (c *Coordinator) Resumed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
+}
+
+// Done returns a channel closed when every chunk has completed.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Final blocks until the sweep completes and returns the merged result.
+func (c *Coordinator) Final() *Result {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.result
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

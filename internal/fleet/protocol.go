@@ -1,0 +1,188 @@
+// Package fleet shards exhaustive GD(G, k) verification across many
+// worker processes behind an HTTP coordinator, with redundant chunk
+// assignment, heartbeat-driven lease recovery, and a JSON checkpoint that
+// makes a killed-and-restarted sweep resume instead of re-enumerating.
+//
+// The design follows the source paper's graceful-degradation framing
+// applied to the verifier itself, and the redundant-assignment robustness
+// argument of Censor-Hillel et al. ("Two for One, One for All"): the
+// coordinator leases each chunk up to Redundancy times, a straggling or
+// dead worker's lease expires and the chunk is re-leased, and duplicate
+// verdicts for one chunk are cross-checked — a mismatch is flagged as a
+// solver bug rather than silently trusted. Soundness never depends on
+// worker liveness: a chunk is complete only when enough verdicts arrived,
+// and the final report is the commutative merge of exactly one verdict
+// per chunk, so worker death, duplicate completion, and out-of-order
+// arrival all leave the verdict byte-identical to a single-process run.
+//
+// Protocol (all bodies JSON):
+//
+//	GET  /v1/job        → JobResponse   the instance workers must build
+//	POST /v1/lease      → LeaseResponse a chunk lease (or wait/done)
+//	POST /v1/complete   → CompleteResponse submit one chunk's partial report
+//	POST /v1/heartbeat  → HeartbeatResponse renew this worker's leases
+//	GET  /v1/status     → Status        live sweep accounting
+package fleet
+
+import (
+	"fmt"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+	"gdpn/internal/verify"
+)
+
+// JobSpec pins the verification instance every participant must agree
+// on. The coordinator serves it at /v1/job; workers rebuild the graph
+// from it (Design is deterministic) rather than shipping the graph over
+// the wire. It is also persisted in the checkpoint, so a resume with a
+// different instance is rejected instead of merging incompatible
+// partials.
+type JobSpec struct {
+	// N and K are the construct.Design arguments.
+	N int `json:"n"`
+	K int `json:"k"`
+	// Merge selects the merged-terminal model (processor faults only),
+	// mirroring gdpverify -merge.
+	Merge bool `json:"merge,omitempty"`
+	// Symmetry enables orbit-reduced enumeration. The orbit test is
+	// deterministic, so every worker prunes the same representatives.
+	Symmetry bool `json:"symmetry,omitempty"`
+	// Redundancy is how many independent verdicts each chunk needs
+	// (default 1). Copies go to distinct workers when enough are alive;
+	// mismatched duplicate verdicts are flagged as solver bugs.
+	Redundancy int `json:"redundancy"`
+	// ChunkRanks bounds the ranks per chunk (0 = verify.DefaultShardRanks).
+	ChunkRanks int64 `json:"chunk_ranks"`
+}
+
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Redundancy <= 0 {
+		s.Redundancy = 1
+	}
+	if s.ChunkRanks <= 0 {
+		s.ChunkRanks = verify.DefaultShardRanks
+	}
+	return s
+}
+
+// Build constructs the instance the spec describes: the graph to verify
+// and the verify.Options a worker (or the coordinator, for shard
+// enumeration) derives from it. The result is deterministic in the spec.
+func (s JobSpec) Build() (*Instance, error) {
+	sol, err := construct.Design(s.N, s.K)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: build instance: %w", err)
+	}
+	g := sol.Graph
+	opts := verify.Options{
+		Solver:          embed.Options{Layout: sol.Layout},
+		ExploitSymmetry: s.Symmetry,
+	}
+	if s.Merge {
+		g = construct.Merge(g)
+		opts.Universe = verify.ProcessorsOnly
+		opts.Solver = embed.Options{}
+	}
+	return &Instance{Graph: g, Opts: opts}, nil
+}
+
+// Instance is a built JobSpec: the graph plus the verification options
+// every participant uses, so fleet verdicts are comparable to
+// single-process gdpverify runs of the same flags.
+type Instance struct {
+	Graph *graph.Graph
+	Opts  verify.Options
+}
+
+// JobResponse is the /v1/job payload.
+type JobResponse struct {
+	Spec JobSpec `json:"spec"`
+	// LeaseTTLMS is the coordinator's lease duration; workers heartbeat
+	// at a third of it.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// LeaseRequest asks for one chunk lease.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse grants a chunk, asks the worker to poll again, or ends
+// the worker's run.
+type LeaseResponse struct {
+	// Done: the sweep is complete (or aborted); the worker should exit.
+	Done bool `json:"done,omitempty"`
+	// Wait: nothing leasable right now (all remaining chunks are leased);
+	// poll again shortly.
+	Wait bool `json:"wait,omitempty"`
+	// ChunkID identifies the granted chunk in Complete calls.
+	ChunkID int `json:"chunk_id"`
+	// Shard is the rank range to verify.
+	Shard verify.Shard `json:"shard"`
+}
+
+// CompleteRequest submits one chunk's partial report.
+type CompleteRequest struct {
+	WorkerID string         `json:"worker_id"`
+	ChunkID  int            `json:"chunk_id"`
+	Report   *verify.Report `json:"report"`
+}
+
+// CompleteResponse acknowledges a submission. Accepted is false when the
+// report arrived too late (the chunk already has its verdicts) or was
+// interrupted — either way the worker just moves on.
+type CompleteResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// HeartbeatRequest renews the worker's leases on the listed chunks.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	ChunkIDs []int  `json:"chunk_ids,omitempty"`
+}
+
+// HeartbeatResponse lists chunks the worker believed it held but the
+// coordinator no longer credits to it (lease expired and re-leased, or
+// completed by a redundant copy). Purely informational: a stale worker's
+// eventual Complete is simply not Accepted.
+type HeartbeatResponse struct {
+	Lost []int `json:"lost,omitempty"`
+}
+
+// Status is the live sweep accounting served at /v1/status and embedded
+// in gdpfleet's final JSON output.
+type Status struct {
+	Done            bool  `json:"done"`
+	Resumed         bool  `json:"resumed"`
+	ChunksTotal     int   `json:"chunks_total"`
+	ChunksCompleted int   `json:"chunks_completed"`
+	ChunksLeased    int   `json:"chunks_leased"`
+	Leases          int64 `json:"leases"`
+	// Releases counts leases reclaimed from dead or straggling workers
+	// and made available again.
+	Releases    int64 `json:"releases"`
+	Mismatches  int64 `json:"mismatches"`
+	WorkersLive int   `json:"workers_live"`
+	WorkersSeen int   `json:"workers_seen"`
+	// CheckpointAgeMS is the time since the last checkpoint write
+	// (-1: checkpointing off or nothing written yet).
+	CheckpointAgeMS int64 `json:"checkpoint_age_ms"`
+}
+
+// Result is the finished sweep: the merged report plus the fleet-level
+// accounting the CI gauntlets assert on.
+type Result struct {
+	Report *verify.Report `json:"report"`
+	// Resumed: the coordinator started from an existing checkpoint
+	// rather than a fresh enumeration.
+	Resumed         bool  `json:"resumed"`
+	ChunksTotal     int   `json:"chunks_total"`
+	ChunksCompleted int   `json:"chunks_completed"`
+	Leases          int64 `json:"leases"`
+	Releases        int64 `json:"releases"`
+	Mismatches      int64 `json:"mismatches"`
+	WorkersSeen     int   `json:"workers_seen"`
+	Redundancy      int   `json:"redundancy"`
+}

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -37,6 +38,54 @@ func TestMergeCapsAllRecordLists(t *testing.T) {
 	// Existence of bugs survives the cap, so OK() stays false.
 	if rep.OK() {
 		t.Error("report with solver bugs must not be OK")
+	}
+}
+
+// merge must be commutative: remote partials arrive in arbitrary order,
+// and the merged report — including the capped record lists, which keep
+// the canonically-smallest entries rather than the first-seen ones, and
+// the Interrupted flag — must not depend on arrival order.
+func TestMergeOrderIndependent(t *testing.T) {
+	const maxRec = 3
+	partials := []*Report{
+		{Checked: 5, Represented: 9, FailureCount: 2, Failures: []FaultSetRecord{
+			{Nodes: []int{7, 9}, Err: "no pipeline"}, {Nodes: []int{2}, Err: "no pipeline"}}},
+		{Checked: 1, Represented: 1, UnknownCount: 1, Unknowns: []FaultSetRecord{
+			{Nodes: []int{4, 5}, Err: "budget exhausted"}}},
+		{Checked: 3, Represented: 6, FailureCount: 3, Failures: []FaultSetRecord{
+			{Nodes: []int{1, 8}, Err: "no pipeline"}, {Nodes: []int{0, 3}, Err: "no pipeline"},
+			{Nodes: []int{5}, Err: "no pipeline"}}},
+		{Checked: 2, Represented: 2, Interrupted: true}, // an interrupted partial poisons every ordering
+	}
+	orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	var first *Report
+	for _, order := range orders {
+		rep := &Report{}
+		for _, i := range order {
+			merge(rep, partials[i], maxRec)
+		}
+		if !rep.Interrupted {
+			t.Fatalf("order %v: Interrupted flag lost in merge", order)
+		}
+		if len(rep.Failures) != maxRec {
+			t.Fatalf("order %v: %d failures recorded, want cap %d", order, len(rep.Failures), maxRec)
+		}
+		if first == nil {
+			first = rep
+			continue
+		}
+		if !reflect.DeepEqual(first, rep) {
+			t.Errorf("order %v merged to\n%+v\nwant\n%+v", order, rep, first)
+		}
+	}
+	// The cap keeps the canonically smallest records: {0,3} < {1,8} < {2}.
+	want := []FaultSetRecord{
+		{Nodes: []int{0, 3}, Err: "no pipeline"},
+		{Nodes: []int{1, 8}, Err: "no pipeline"},
+		{Nodes: []int{2}, Err: "no pipeline"},
+	}
+	if !reflect.DeepEqual(first.Failures, want) {
+		t.Errorf("capped failures = %+v, want %+v", first.Failures, want)
 	}
 }
 

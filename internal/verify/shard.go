@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"time"
+
+	"gdpn/internal/combin"
+	"gdpn/internal/embed"
+	"gdpn/internal/graph"
+	"gdpn/internal/obs/span"
+)
+
+// Shard is one contiguous range [From, To) of lexicographic subset ranks
+// at a single fault-set size — the unit of work the verification fleet
+// distributes. Shards are pure coordinates: any process that agrees on
+// the instance (graph, k, fault universe) can verify any shard, and the
+// union of all shards of an instance is exactly the ≤k enumeration that
+// Exhaustive walks.
+type Shard struct {
+	Size int   `json:"size"`
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+}
+
+// Ranks returns the number of subset ranks the shard covers.
+func (s Shard) Ranks() int64 { return s.To - s.From }
+
+// DefaultShardRanks is the Shards chunking granularity used when the
+// caller passes ranksPer ≤ 0.
+const DefaultShardRanks = 2048
+
+// Shards partitions the full size-≤k enumeration over g's fault universe
+// into shards of at most ranksPer ranks each, in canonical order (by
+// size, then by rank). The partition is exact: every fault set of size
+// ≤ k appears in exactly one shard.
+func Shards(g *graph.Graph, k int, universe FaultUniverse, ranksPer int64) []Shard {
+	if ranksPer <= 0 {
+		ranksPer = DefaultShardRanks
+	}
+	nodes := universeNodes(g, universe)
+	var out []Shard
+	for size := 0; size <= k && size <= len(nodes); size++ {
+		total := combin.Binomial(len(nodes), size)
+		for from := int64(0); from < total; from += ranksPer {
+			to := from + ranksPer
+			if to > total {
+				to = total
+			}
+			out = append(out, Shard{Size: size, From: from, To: to})
+		}
+	}
+	return out
+}
+
+// ShardRunner verifies successive Shards of one instance in one
+// goroutine, reusing a single solver so FindDelta warm endpoints and the
+// Options.Memo cache survive across shards — a fleet worker gets the
+// same incremental-solve behavior a work-stealing Exhaustive worker has.
+// Orbit reduction (Options.ExploitSymmetry) uses the same deterministic
+// representative test as Exhaustive, so sharded runs reach identical
+// Checked/Represented counts. Not safe for concurrent use: create one
+// runner per goroutine.
+type ShardRunner struct {
+	g        *graph.Graph
+	k        int
+	universe []int
+	orbit    *orbitTester
+	wk       *worker
+	root     *embed.Resources
+	sweep    *embed.Resources
+	prev     embed.TierStats
+	sub      []int
+	scratch  []int
+	throttle time.Duration
+}
+
+// NewShardRunner builds a runner for Design instance g at tolerance k.
+// Options are interpreted exactly as by Exhaustive; Options.Context (or
+// Solver.Res) cancels in-flight shards, whose reports come back marked
+// Interrupted. Call Close when done to release the cancellation tokens.
+func NewShardRunner(g *graph.Graph, k int, opts Options) *ShardRunner {
+	fillDefaults(&opts)
+	universe := universeNodes(g, opts.Universe)
+	root, sweep := runTokens(opts)
+	opts.Solver.Res = sweep
+	return &ShardRunner{
+		g:        g,
+		k:        k,
+		universe: universe,
+		orbit:    orbitFor(g, opts, universe),
+		wk:       newWorker(g, opts, universe),
+		root:     root,
+		sweep:    sweep,
+		sub:      make([]int, k),
+		scratch:  make([]int, k),
+		throttle: opts.Throttle,
+	}
+}
+
+// Run verifies one shard and returns its partial report. A report with
+// Interrupted set means the runner's token latched mid-shard: the shard
+// reached no complete verdict and must be re-verified (its counters cover
+// only a prefix). Partial reports from disjoint shards merge with
+// MergeReports into exactly the report a single-process run produces.
+func (r *ShardRunner) Run(sh Shard) *Report {
+	rep := &Report{GraphName: r.g.Name(), K: r.k}
+	r.wk.local = rep
+	start := time.Now()
+
+	csp := span.Start(nil, "sweep-chunk")
+	csp.SetInt("size", int64(sh.Size)).SetInt("from", sh.From).SetInt("ranks", sh.Ranks())
+	r.wk.solver.SetSpan(csp)
+	status := span.OK
+
+	sub := r.sub[:sh.Size]
+	if sh.Size > 0 {
+		combin.Unrank(len(r.universe), sh.Size, sh.From, sub)
+	}
+	for rank := sh.From; rank < sh.To; rank++ {
+		if rank > sh.From {
+			combin.NextSubset(len(r.universe), sub)
+		}
+		if r.sweep.Stopped() {
+			rep.Interrupted = true
+			status = span.Canceled
+			break
+		}
+		if r.throttle > 0 {
+			time.Sleep(r.throttle)
+		}
+		rep.Represented++
+		if r.orbit != nil && !r.orbit.isMinimal(sub, r.scratch) {
+			continue
+		}
+		if !r.wk.check(sub) {
+			// Abandoned mid-solve: no verdict for this set.
+			rep.Represented--
+			rep.Interrupted = true
+			status = span.Canceled
+			break
+		}
+	}
+	csp.End(status)
+	r.wk.solver.SetSpan(nil)
+
+	stats := r.wk.solver.Stats()
+	rep.Tiers = stats.Sub(r.prev)
+	r.prev = stats
+	rep.Duration = time.Since(start)
+	return rep
+}
+
+// Stopped reports whether the runner's cancellation token has latched;
+// subsequent Run calls would return immediately-interrupted reports.
+func (r *ShardRunner) Stopped() bool { return r.sweep.Stopped() }
+
+// Close releases the runner's cancellation tokens. The runner must not be
+// used afterwards.
+func (r *ShardRunner) Close() {
+	r.sweep.Release()
+	r.root.Release()
+}

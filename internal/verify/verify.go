@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -82,6 +83,11 @@ type Options struct {
 	// possibly-incomplete coverage counters — rather than a full census.
 	// Off by default: existing callers rely on complete enumeration.
 	FailFast bool
+	// Throttle inserts an artificial delay before each enumerated fault
+	// set. Only ShardRunner honors it; it exists so fleet CI gauntlets can
+	// pace a sweep slowly enough to kill workers and restart coordinators
+	// mid-run. Zero (the default) means full speed.
+	Throttle time.Duration
 }
 
 // FaultSetRecord describes one fault set with an abnormal outcome.
@@ -150,6 +156,28 @@ func (r *Report) String() string {
 	}
 	return fmt.Sprintf("%s k=%d: %d fault sets%s in %v: %s",
 		r.GraphName, r.K, r.Checked, sym, r.Duration.Round(time.Millisecond), status)
+}
+
+// VerdictSummary renders the canonical verdict of a run: every field that
+// the verification decides (counts, status, recorded counterexamples) and
+// none that scheduling decides (duration, steals, tier split). Two runs of
+// the same instance — single-process, work-stealing, or sharded across a
+// fleet with workers dying mid-sweep — produce byte-identical summaries,
+// which is what the CI fleet gauntlet diffs.
+func (r *Report) VerdictSummary() string {
+	status := "OK"
+	switch {
+	case r.Interrupted:
+		status = "INTERRUPTED"
+	case !r.OK():
+		status = "FAILED"
+	}
+	s := fmt.Sprintf("%s k=%d checked=%d represented=%d failures=%d unknowns=%d solver_bugs=%d %s",
+		r.GraphName, r.K, r.Checked, r.Represented, r.FailureCount, r.UnknownCount, len(r.SolverBugs), status)
+	for _, f := range r.Failures {
+		s += fmt.Sprintf("\ncounterexample %v: %s", f.Nodes, f.Err)
+	}
+	return s
 }
 
 // CheckPipeline verifies that path is a pipeline in g \ faults per the
@@ -238,20 +266,7 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 	defer sweep.Release()
 	opts.Solver.Res = sweep // workers inherit the sweep token
 
-	var orbit *orbitTester
-	if opts.ExploitSymmetry {
-		group := opts.Group
-		if group == nil {
-			var seeds []autom.Perm
-			if opts.Solver.Layout != nil {
-				if refl, err := autom.Reflection(g, opts.Solver.Layout); err == nil {
-					seeds = append(seeds, refl)
-				}
-			}
-			group = autom.Compute(g, autom.Options{Seeds: seeds})
-		}
-		orbit = newOrbitTester(group, universe, g.NumNodes())
-	}
+	orbit := orbitFor(g, opts, universe)
 
 	// Fine-grained rank chunks, dealt round-robin onto per-worker deques.
 	// The owner pops from the tail (staying on its lexicographic walk, so
@@ -337,7 +352,7 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 	for local := range results {
 		merge(rep, local, opts.MaxRecorded)
 	}
-	rep.Interrupted = root.Stopped()
+	rep.Interrupted = rep.Interrupted || root.Stopped()
 	rep.Duration = time.Since(start)
 
 	if reg := obs.Default(); reg.Enabled() {
@@ -565,9 +580,31 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 	for local := range results {
 		merge(rep, local, opts.MaxRecorded)
 	}
-	rep.Interrupted = root.Stopped()
+	rep.Interrupted = rep.Interrupted || root.Stopped()
 	rep.Duration = time.Since(start)
 	return rep
+}
+
+// orbitFor builds the orbit tester for a symmetry-reduced run (nil when
+// ExploitSymmetry is off), computing the automorphism group when
+// Options.Group does not supply one. The computation is deterministic, so
+// independent processes sharding one instance agree on which fault sets
+// are orbit representatives.
+func orbitFor(g *graph.Graph, opts Options, universe []int) *orbitTester {
+	if !opts.ExploitSymmetry {
+		return nil
+	}
+	group := opts.Group
+	if group == nil {
+		var seeds []autom.Perm
+		if opts.Solver.Layout != nil {
+			if refl, err := autom.Reflection(g, opts.Solver.Layout); err == nil {
+				seeds = append(seeds, refl)
+			}
+		}
+		group = autom.Compute(g, autom.Options{Seeds: seeds})
+	}
+	return newOrbitTester(group, universe, g.NumNodes())
 }
 
 // worker is the per-goroutine verification state: a solver, the current
@@ -684,28 +721,65 @@ func record(dst *[]FaultSetRecord, universe, sub []int, msg string, maxRec int) 
 	*dst = append(*dst, FaultSetRecord{Nodes: nodes, Err: msg})
 }
 
+// merge accumulates local into rep. It is commutative and associative:
+// the counters are sums, Interrupted is an OR, and each record list keeps
+// the canonically-smallest maxRec entries of the union — so partial
+// reports arriving from remote workers in any order (or replayed from a
+// checkpoint in any order) merge to the same final report. Duration is
+// left to the caller: it is wall-clock, not a sum of partials.
 func merge(rep, local *Report, maxRec int) {
 	rep.Checked += local.Checked
 	rep.Represented += local.Represented
 	rep.Steals += local.Steals
 	rep.FailureCount += local.FailureCount
 	rep.UnknownCount += local.UnknownCount
+	rep.Interrupted = rep.Interrupted || local.Interrupted
 	rep.Tiers.Add(local.Tiers)
-	for _, f := range local.Failures {
-		if len(rep.Failures) < maxRec {
-			rep.Failures = append(rep.Failures, f)
+	rep.Failures = mergeRecords(rep.Failures, local.Failures, maxRec)
+	rep.Unknowns = mergeRecords(rep.Unknowns, local.Unknowns, maxRec)
+	rep.SolverBugs = mergeRecords(rep.SolverBugs, local.SolverBugs, maxRec)
+}
+
+// MergeReports accumulates src into dst exactly as a multi-worker run
+// merges its per-worker partials. maxRec caps each record list (0 means
+// the package default); the counters are never capped. The operation is
+// commutative and associative, which is what lets the verification fleet
+// merge out-of-order remote partials — and checkpoint replays — into a
+// deterministic final report.
+func MergeReports(dst, src *Report, maxRec int) {
+	if maxRec <= 0 {
+		maxRec = 16
+	}
+	merge(dst, src, maxRec)
+}
+
+// mergeRecords returns the canonically-smallest maxRec records of
+// dst ∪ src. Keeping the minimum of the union (rather than the first
+// maxRec seen) makes the cap order-independent.
+func mergeRecords(dst, src []FaultSetRecord, maxRec int) []FaultSetRecord {
+	if len(src) == 0 {
+		return dst
+	}
+	dst = append(dst, src...)
+	sort.SliceStable(dst, func(i, j int) bool { return recordLess(dst[i], dst[j]) })
+	if len(dst) > maxRec {
+		dst = dst[:maxRec]
+	}
+	return dst
+}
+
+// recordLess orders fault-set records canonically: by node sequence, then
+// by length (a proper prefix sorts first), then by message.
+func recordLess(a, b FaultSetRecord) bool {
+	for i := 0; i < len(a.Nodes) && i < len(b.Nodes); i++ {
+		if a.Nodes[i] != b.Nodes[i] {
+			return a.Nodes[i] < b.Nodes[i]
 		}
 	}
-	for _, u := range local.Unknowns {
-		if len(rep.Unknowns) < maxRec {
-			rep.Unknowns = append(rep.Unknowns, u)
-		}
+	if len(a.Nodes) != len(b.Nodes) {
+		return len(a.Nodes) < len(b.Nodes)
 	}
-	for _, b := range local.SolverBugs {
-		if len(rep.SolverBugs) < maxRec {
-			rep.SolverBugs = append(rep.SolverBugs, b)
-		}
-	}
+	return a.Err < b.Err
 }
 
 func universeNodes(g *graph.Graph, u FaultUniverse) []int {
