@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-snapshot bench-check vet soak
+.PHONY: all build test race bench bench-snapshot bench-check bench-store vet soak
 
 all: build test
 
@@ -36,6 +36,15 @@ bench-snapshot:
 bench-check:
 	$(GO) run ./cmd/gdpbench -quick -symmetry -json > /tmp/gdp_bench_current.json
 	$(GO) run ./cmd/benchdiff -max-ratio 1.25 -max-alloc-ratio 2 BENCH_baseline.json /tmp/gdp_bench_current.json
+
+# bench-store snapshots the incremental re-verification win: the ST
+# experiment's cold-vs-warm sweep timings (a cold symmetry-reduced sweep
+# populates a fresh store; the warm re-sweep replays it and must be ≥5x
+# faster on G3,5 with a byte-identical verdict). Commit the refreshed
+# BENCH_store.txt when a change intentionally moves the numbers.
+bench-store:
+	$(GO) run ./cmd/gdpbench -run ST | tee BENCH_store.txt
+	@echo "wrote BENCH_store.txt"
 
 # soak is the local version of the nightly chaos workflow: continuous
 # traffic under stochastic fault/repair churn with the race detector on;

@@ -72,6 +72,7 @@ func BenchmarkP3_TierHitRates(b *testing.B)             { benchExperiment(b, "P3
 func BenchmarkE1_LinkFaults(b *testing.B)               { benchExperiment(b, "E1") }
 func BenchmarkP4_IncrementalRepair(b *testing.B)        { benchExperiment(b, "P4") }
 func BenchmarkE2_Locality(b *testing.B)                 { benchExperiment(b, "E2") }
+func BenchmarkST_StoreWarmReplay(b *testing.B)          { benchExperiment(b, "ST") }
 
 // --- micro-benchmarks -----------------------------------------------------
 

@@ -32,6 +32,7 @@ import (
 
 	"gdpn/internal/experiments"
 	"gdpn/internal/obs"
+	"gdpn/internal/store"
 	"gdpn/internal/telemetry"
 )
 
@@ -55,6 +56,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON blob (tables + metrics) on stdout")
 		raceEng = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets in every verification")
 		batch   = flag.Int("batch", 0, "transport batch size for the streaming experiments (0 = pipeline default)")
+		storeP  = flag.String("store", "", "content-addressed verdict store file (created if absent): repeated gdpbench runs replay cached verdicts instead of re-solving")
 		addr    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/spans, /slo on this address during the run")
 	)
 	tf := telemetry.Register()
@@ -91,6 +93,23 @@ func main() {
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Symmetry: *symm,
 		Race: *raceEng, Batch: *batch, Context: ctx}
+	// closeStore flushes appended verdicts; called explicitly because the
+	// exit paths below use os.Exit (which skips defers).
+	closeStore := func() {}
+	if *storeP != "" {
+		st, err := store.Open(*storeP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdpbench:", err)
+			os.Exit(2)
+		}
+		cfg.Store = st
+		closeStore = func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "gdpbench:", err)
+				os.Exit(2)
+			}
+		}
+	}
 	if *jsonOut {
 		// Collect runtime metrics (solver wall time, tier hit rates) along
 		// with the tables.
@@ -109,6 +128,7 @@ func main() {
 		} else {
 			tables, ok = experiments.CollectAll(cfg)
 		}
+		closeStore()
 		rep := jsonReport{OK: ok, Quick: *quick, Seed: *seed,
 			Interrupted: ctx.Err() != nil,
 			Experiments: tables, Metrics: obs.Default().Snapshot()}
@@ -129,12 +149,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gdpbench:", err)
 			os.Exit(2)
 		}
+		closeStore()
 		if !tf.Report(os.Stderr) || !ok {
 			os.Exit(1)
 		}
 		return
 	}
-	if !experiments.RunAll(cfg, os.Stdout) {
+	allOK := experiments.RunAll(cfg, os.Stdout)
+	closeStore()
+	if !allOK {
 		fmt.Fprintln(os.Stderr, "gdpbench: at least one experiment mismatched its paper claim")
 		os.Exit(1)
 	}

@@ -9,6 +9,7 @@
 //	gdpfleet work  -coord http://host:7117 -j 4
 //	gdpfleet serve -local 3 -n 3 -k 5 -symmetry          # one-binary fleet
 //	gdpfleet serve ... -redundancy 2                     # double-solve chunks
+//	gdpfleet serve ... -store sweep.gdps                 # content-keyed resume + verdict cache
 //	gdpfleet serve ... -summary verdict.txt -json        # CI-diffable outputs
 //
 // A SIGKILLed coordinator restarted with the same -checkpoint file
@@ -31,6 +32,7 @@ import (
 
 	"gdpn/internal/fleet"
 	"gdpn/internal/obs"
+	"gdpn/internal/store"
 	"gdpn/internal/telemetry"
 )
 
@@ -49,6 +51,7 @@ func main() {
 		leaseTTL   = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "serve: chunk lease duration; silent workers lose their chunks after this")
 		checkpoint = flag.String("checkpoint", "", "serve: JSON progress file — written after every chunk, resumed from on restart")
 		local      = flag.Int("local", 0, "serve: also run this many in-process workers over loopback HTTP")
+		storeP     = flag.String("store", "", "content-addressed verdict store file (created if absent): serve resumes already-proven chunks from it and persists each completion; work replays cached verdicts inside its runners — give each process its own file")
 		jsonOut    = flag.Bool("json", false, "serve: emit the machine-readable result (report + fleet accounting + metrics) on stdout")
 		summary    = flag.String("summary", "", "serve: also write the canonical verdict summary to this file (diffable against gdpverify -summary)")
 
@@ -87,23 +90,40 @@ func main() {
 		Throttle: *throttle, Retry: *retry, Memo: *memo, Logf: logf,
 	}
 
+	// One store handle per process (serve shares it between the
+	// coordinator and any -local workers; a remote worker opens its own
+	// file — the store is a single-writer format).
+	var st *store.Store
+	if *storeP != "" {
+		var err error
+		if st, err = store.Open(*storeP); err != nil {
+			fatal(err)
+		}
+		workerCfg.Store = st
+	}
+
 	switch cmd {
 	case "work":
 		if err := fleet.RunWorker(ctx, workerCfg); err != nil && ctx.Err() == nil {
 			fatal(err)
 		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	case "serve":
-		serve(ctx, tf, spec, workerCfg, *addr, *leaseTTL, *checkpoint, *local, *jsonOut, *summary, logf)
+		serve(ctx, tf, spec, workerCfg, st, *addr, *leaseTTL, *checkpoint, *local, *jsonOut, *summary, logf)
 	}
 }
 
 func serve(ctx context.Context, tf *telemetry.Flags, spec fleet.JobSpec, workerCfg fleet.WorkerConfig,
-	addr string, leaseTTL time.Duration, checkpoint string, local int, jsonOut bool, summary string,
-	logf func(string, ...any)) {
+	st *store.Store, addr string, leaseTTL time.Duration, checkpoint string, local int, jsonOut bool,
+	summary string, logf func(string, ...any)) {
 
 	obs.Default().SetEnabled(true)
 	c, err := fleet.NewCoordinator(fleet.Config{
-		Spec: spec, LeaseTTL: leaseTTL, CheckpointPath: checkpoint,
+		Spec: spec, LeaseTTL: leaseTTL, CheckpointPath: checkpoint, Store: st,
 	})
 	if err != nil {
 		fatal(err)
@@ -138,9 +158,13 @@ func serve(ctx context.Context, tf *telemetry.Flags, spec fleet.JobSpec, workerC
 	select {
 	case <-ctx.Done():
 		// Interrupted: the checkpoint (if any) already holds every
-		// completed chunk; a restart resumes from it.
+		// completed chunk, and the store (if any) was flushed after each
+		// completion; a restart resumes from either.
 		wg.Wait()
 		srv.Close()
+		if st != nil {
+			st.Close()
+		}
 		logf("gdpfleet: interrupted; progress checkpointed to %q", checkpoint)
 		os.Exit(130)
 	case <-c.Done():
@@ -148,6 +172,11 @@ func serve(ctx context.Context, tf *telemetry.Flags, spec fleet.JobSpec, workerC
 	res := c.Final()
 	wg.Wait()
 	srv.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	if summary != "" {
 		if err := os.WriteFile(summary, []byte(res.Report.VerdictSummary()+"\n"), 0o644); err != nil {
@@ -169,8 +198,8 @@ func serve(ctx context.Context, tf *telemetry.Flags, spec fleet.JobSpec, workerC
 		}
 	} else {
 		fmt.Println(res.Report.String())
-		fmt.Printf("fleet: %d/%d chunks, %d leases (%d re-leased), %d workers, redundancy %d, mismatches %d, resumed=%v\n",
-			res.ChunksCompleted, res.ChunksTotal, res.Leases, res.Releases,
+		fmt.Printf("fleet: %d/%d chunks (%d from store), %d leases (%d re-leased), %d workers, redundancy %d, mismatches %d, resumed=%v\n",
+			res.ChunksCompleted, res.ChunksTotal, res.ChunksFromStore, res.Leases, res.Releases,
 			res.WorkersSeen, res.Redundancy, res.Mismatches, res.Resumed)
 	}
 	if !res.Report.OK() || res.Mismatches > 0 || !healthy {

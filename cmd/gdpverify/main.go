@@ -10,6 +10,7 @@
 //	gdpverify -n 10 -k 2 -certify g.certs # write one witness per fault set
 //	gdpverify -n 10 -k 2 -replay g.certs  # re-check witnesses (no solver trust)
 //	gdpverify -n 22 -k 4 -symmetry        # orbit-reduced exhaustive proof
+//	gdpverify -n 22 -k 4 -store v.gdps    # incremental: replay cached verdicts, append new ones
 //	gdpverify -n 22 -k 4 -json            # machine-readable report + metrics
 //	gdpverify -n 22 -k 4 -race-engines    # race DP vs backtracker on hard sets
 //	gdpverify -n 22 -k 4 -fail-fast       # stop at the first counterexample
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -31,7 +33,9 @@ import (
 
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
+	"gdpn/internal/graph"
 	"gdpn/internal/obs"
+	"gdpn/internal/store"
 	"gdpn/internal/telemetry"
 	"gdpn/internal/verify"
 )
@@ -51,6 +55,7 @@ func main() {
 		raceEng  = flag.Bool("race-engines", false, "race the exact DP and the backtracker on hard fault sets (verdict-identical, often faster)")
 		failFast = flag.Bool("fail-fast", false, "exhaustive mode: stop the sweep at the first counterexample")
 		summary  = flag.String("summary", "", "write the canonical verdict summary to this file (diffable against gdpfleet serve -summary)")
+		storeP   = flag.String("store", "", "content-addressed verdict store file (created if absent): sweeps replay cached verdicts instead of re-solving and append new ones; -certify reuses a cached certificate set when it replays cleanly")
 		addr     = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/spans, /slo on this address during the run")
 	)
 	tf := telemetry.Register()
@@ -72,7 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gdpverify: serving /metrics, /debug/trace, /debug/spans, /slo on %s\n", *addr)
 	}
 	if *certify != "" || *replay != "" {
-		certMode(*n, *k, *certify, *replay)
+		certMode(*n, *k, *certify, *replay, *storeP)
 		return
 	}
 
@@ -102,6 +107,14 @@ func main() {
 		opts.Universe = verify.ProcessorsOnly
 		opts.Solver = embed.Options{Race: *raceEng}
 	}
+	var st *store.Store
+	if *storeP != "" {
+		st, err = store.Open(*storeP)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
+	}
 	if !*jsonOut {
 		fmt.Println(g.Summary())
 	}
@@ -110,6 +123,12 @@ func main() {
 		rep = verify.Random(g, *k, *trials, *seed, opts)
 	} else {
 		rep = verify.Exhaustive(g, *k, opts)
+	}
+	// Close (flushing appends) before any exit path below.
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *summary != "" {
 		if err := os.WriteFile(*summary, []byte(rep.VerdictSummary()+"\n"), 0o644); err != nil {
@@ -148,16 +167,43 @@ func main() {
 	}
 }
 
-// certMode writes or replays a certificate file for Design(n, k).
-func certMode(n, k int, certifyPath, replayPath string) {
+// certMode writes or replays a certificate file for Design(n, k). With a
+// store attached, -certify caches the certificate-set JSON as a blob on
+// the graph's slot and reuses it on later runs — but only after a full
+// Replay against the freshly constructed graph re-establishes it, per
+// the store's untrusted-hint model.
+func certMode(n, k int, certifyPath, replayPath, storePath string) {
 	sol, err := construct.Design(n, k)
 	if err != nil {
 		fatal(err)
 	}
 	if certifyPath != "" {
-		cs, err := verify.Certify(sol.Graph, k, embed.Options{Layout: sol.Layout})
-		if err != nil {
-			fatal(err)
+		var st *store.Store
+		var ref *store.GraphRef
+		blobName := fmt.Sprintf("certset/k%d", k)
+		if storePath != "" {
+			if st, err = store.Open(storePath); err != nil {
+				fatal(err)
+			}
+			ref = st.Register(sol.Graph)
+		}
+		cs := cachedCertSet(ref, blobName, sol.Graph, k)
+		if cs == nil {
+			if cs, err = verify.Certify(sol.Graph, k, embed.Options{Layout: sol.Layout}); err != nil {
+				fatal(err)
+			}
+			if ref != nil {
+				var buf bytes.Buffer
+				if err := cs.Write(&buf); err != nil {
+					fatal(err)
+				}
+				ref.PutBlob(blobName, buf.Bytes())
+			}
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				fatal(err)
+			}
 		}
 		f, err := os.Create(certifyPath)
 		if err != nil {
@@ -184,6 +230,25 @@ func certMode(n, k int, certifyPath, replayPath string) {
 	}
 	fmt.Printf("replayed %d certificates for %s: GD(G, %d) re-established without a solver\n",
 		len(cs.Certs), sol.Graph.Name(), k)
+}
+
+// cachedCertSet returns the store's cached certificate set for the slot
+// if it decodes AND replays cleanly against g; any failure (missing blob,
+// corrupt JSON, failed replay) returns nil and the caller re-certifies.
+func cachedCertSet(ref *store.GraphRef, name string, g *graph.Graph, k int) *verify.CertificateSet {
+	if ref == nil {
+		return nil
+	}
+	b, ok := ref.Blob(name)
+	if !ok {
+		return nil
+	}
+	cs, err := verify.ReadCertificates(bytes.NewReader(b))
+	if err != nil || cs.K != k || cs.Replay(g) != nil {
+		return nil
+	}
+	fmt.Printf("reusing %d cached certificates (replayed cleanly from store)\n", len(cs.Certs))
+	return cs
 }
 
 func fatal(err error) {

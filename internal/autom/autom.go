@@ -223,6 +223,32 @@ func Compute(g *graph.Graph, opts Options) *Group {
 	return gr
 }
 
+// FromGenerators rebuilds a Group from externally supplied generators (e.g.
+// loaded from the verdict store). Every generator is certificate-checked by
+// CheckAutomorphism before it is trusted — a single failing generator makes
+// the whole load fail, so a corrupted or mismatched cache entry can never
+// smuggle an invalid symmetry into orbit pruning. complete carries the
+// original search's completeness claim; it is trusted only in the sense
+// that an overclaim cannot create unsoundness (orbit pruning with a
+// subgroup is always sound, and completeness only widens pruning the same
+// way the original run already did). maxElements ≤ 0 uses the default cap.
+func FromGenerators(g *graph.Graph, gens []Perm, complete bool, maxElements int) (*Group, error) {
+	if maxElements <= 0 {
+		maxElements = 20000
+	}
+	gr := &Group{n: g.NumNodes(), complete: complete}
+	for i, p := range gens {
+		if err := CheckAutomorphism(g, p); err != nil {
+			return nil, fmt.Errorf("autom: stored generator %d rejected: %w", i, err)
+		}
+		if !p.identity() && !gr.knownElement(p) {
+			gr.gens = append(gr.gens, p)
+		}
+	}
+	gr.materialize(maxElements)
+	return gr, nil
+}
+
 // knownElement reports whether p duplicates a generator already kept; used
 // only to dedupe the seed list.
 func (gr *Group) knownElement(p Perm) bool {

@@ -18,6 +18,7 @@ import (
 
 	"gdpn/internal/construct"
 	"gdpn/internal/embed"
+	"gdpn/internal/store"
 	"gdpn/internal/verify"
 )
 
@@ -44,6 +45,12 @@ type Config struct {
 	// Batch sets the transport batch size for the streaming experiments
 	// (S3). ≤ 0 uses the pipeline default.
 	Batch int
+	// Store attaches a content-addressed verdict store to every
+	// verification the experiments run, making repeated gdpbench
+	// invocations incremental (cached verdicts replay instead of
+	// re-solving). The ST experiment measures its effect with a private
+	// store regardless. The caller owns the lifecycle. nil disables it.
+	Store *store.Store
 	// Context cancels in-flight verifications (SIGINT → partial report).
 	Context context.Context
 }
@@ -57,6 +64,7 @@ func (cfg Config) VerifyOptions() verify.Options {
 		ExploitSymmetry: cfg.Symmetry,
 		Context:         cfg.Context,
 		Solver:          embed.Options{Race: cfg.Race},
+		Store:           cfg.Store,
 	}
 }
 

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"T313", "T315", "T316", "T317", "T317b",
 		"L31", "L35", "L36", "L37", "L39", "M",
 		"S1", "S2", "S3", "P1", "P2", "P3", "P4", "E1", "E2",
-		"SYM",
+		"SYM", "ST",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -131,7 +131,7 @@ func TestQuickTheoremFamilies(t *testing.T) {
 }
 
 func TestQuickSystems(t *testing.T) {
-	for _, id := range []string{"S1", "S2", "S3", "P2", "P3", "P4", "E1", "E2"} {
+	for _, id := range []string{"S1", "S2", "S3", "P2", "P3", "P4", "E1", "E2", "ST"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var buf bytes.Buffer

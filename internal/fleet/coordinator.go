@@ -11,6 +11,7 @@ import (
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
 	"gdpn/internal/obs/span"
+	"gdpn/internal/store"
 	"gdpn/internal/verify"
 )
 
@@ -33,6 +34,14 @@ type Config struct {
 	// verify default — keep it equal to the single-process run's cap so
 	// verdict summaries stay byte-identical).
 	MaxRecorded int
+	// Store attaches the content-addressed verdict store as a second,
+	// content-keyed resume substrate: every completed chunk's verdict is
+	// persisted as a blob on the instance's slot, and a restarted
+	// coordinator marks blob-backed chunks done without leasing them —
+	// even when no checkpoint file survived, and across differently-named
+	// checkpoint paths, because the key is the graph's canonical form.
+	// The caller owns the store's lifecycle. nil disables it.
+	Store *store.Store
 }
 
 // Coordinator owns the shard ledger of one sweep: it leases chunks to
@@ -44,6 +53,7 @@ type Coordinator struct {
 	cfg  Config
 	spec JobSpec
 	g    *graph.Graph
+	ref  *store.GraphRef // nil when Config.Store is nil
 
 	leasedC   *obs.Counter
 	doneC     *obs.Counter
@@ -61,6 +71,7 @@ type Coordinator struct {
 	mismatches   int64
 	mismatchRecs []verify.FaultSetRecord
 	resumed      bool
+	fromStore    int
 	lastCkpt     time.Time
 	start        time.Time
 	result       *Result
@@ -123,6 +134,10 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 			return nil, err
 		}
 	}
+	if cfg.Store != nil {
+		c.ref = cfg.Store.Register(inst.Graph)
+		c.restoreFromStore()
+	}
 	if c.remaining == 0 {
 		// Fully-complete checkpoint: finalize immediately so Final (and
 		// late-joining workers) see a done sweep.
@@ -168,6 +183,46 @@ func (c *Coordinator) restore() error {
 	c.resumed = true
 	c.lastCkpt = time.Now()
 	return nil
+}
+
+// chunkKey names a chunk's verdict blob on the instance's store slot. The
+// graph itself is content-addressed by the slot, so the key only has to
+// pin the sweep parameters that shape chunk verdicts (k, fault model,
+// orbit reduction) and the chunk coordinates.
+func (c *Coordinator) chunkKey(ch *chunk) string {
+	return fmt.Sprintf("fleet/k%d/merge%t/sym%t/chunk/%d:%d-%d",
+		c.spec.K, c.spec.Merge, c.spec.Symmetry, ch.shard.Size, ch.shard.From, ch.shard.To)
+}
+
+// restoreFromStore marks chunks whose verdict blob survives in the store
+// as done without leasing them. This is the fleet's content-keyed resume
+// path: it works with no checkpoint file at all, and across instances
+// that are isomorphic relabelings of each other. Blob reports get the
+// same re-trust treatment as checkpoint reports (they are merged, and a
+// redundancy mismatch on a fresh copy would still be flagged).
+func (c *Coordinator) restoreFromStore() {
+	for _, ch := range c.chunks {
+		if ch.done {
+			continue
+		}
+		b, ok := c.ref.Blob(c.chunkKey(ch))
+		if !ok {
+			continue
+		}
+		rep := &verify.Report{}
+		if err := json.Unmarshal(b, rep); err != nil || rep.Interrupted {
+			continue
+		}
+		ch.reports = []*verify.Report{rep}
+		ch.digests = []string{Digest(rep)}
+		ch.doneBy = []string{"store"}
+		ch.done = true
+		c.remaining--
+		c.fromStore++
+	}
+	if c.fromStore > 0 {
+		c.resumed = true
+	}
 }
 
 // Handler returns the coordinator's HTTP API under /v1/.
@@ -313,6 +368,14 @@ func (c *Coordinator) complete(req CompleteRequest) bool {
 		ch.sp.End(status)
 		ch.sp = nil
 	}
+	if c.ref != nil {
+		if b, err := json.Marshal(ch.reports[0]); err == nil {
+			c.ref.PutBlob(c.chunkKey(ch), b)
+			// Flush per completion: a SIGKILLed coordinator resumes from
+			// the store even when the checkpoint write never happened.
+			c.cfg.Store.Flush()
+		}
+	}
 	c.checkpointLocked()
 	if c.remaining == 0 {
 		c.finalizeLocked()
@@ -415,6 +478,7 @@ func (c *Coordinator) finalizeLocked() {
 		Resumed:         c.resumed,
 		ChunksTotal:     len(c.chunks),
 		ChunksCompleted: len(c.chunks) - c.remaining,
+		ChunksFromStore: c.fromStore,
 		Leases:          c.leases,
 		Releases:        c.releases,
 		Mismatches:      c.mismatches,
@@ -436,6 +500,7 @@ func (c *Coordinator) Status() Status {
 		Resumed:         c.resumed,
 		ChunksTotal:     len(c.chunks),
 		ChunksCompleted: len(c.chunks) - c.remaining,
+		ChunksFromStore: c.fromStore,
 		Leases:          c.leases,
 		Releases:        c.releases,
 		Mismatches:      c.mismatches,

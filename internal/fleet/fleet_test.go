@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"gdpn/internal/store"
 	"gdpn/internal/verify"
 )
 
@@ -177,6 +178,77 @@ func TestResumeFromCheckpoint(t *testing.T) {
 	bad.K = 1
 	if _, err := NewCoordinator(Config{Spec: bad, CheckpointPath: ckpt}); err == nil {
 		t.Error("coordinator accepted a checkpoint for a different instance")
+	}
+}
+
+// A restarted coordinator with a warm verdict store — and NO checkpoint
+// file — must resume from the store alone: every chunk whose verdict blob
+// survived is marked done without a single lease, Resumed is reported,
+// and the final verdict is byte-identical to the single-process run.
+func TestResumeFromStore(t *testing.T) {
+	spec := JobSpec{N: 3, K: 2, ChunkRanks: 16}
+	inst, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.Exhaustive(inst.Graph, spec.K, inst.Opts)
+	storePath := filepath.Join(t.TempDir(), "verdicts.gdps")
+
+	// First incarnation: full sweep against a cold store, then "crash"
+	// without Close — the per-completion Flush must have persisted every
+	// chunk blob already.
+	s1, err := store.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, srv := startFleet(t, Config{Spec: spec, Store: s1})
+	runWorkers(t, srv, 2)
+	select {
+	case <-first.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cold sweep did not finish: %+v", first.Status())
+	}
+	if res := first.Final(); res.Resumed || res.ChunksFromStore != 0 {
+		t.Fatalf("cold sweep claimed a resume: %+v", res)
+	}
+
+	// Second incarnation: same instance, fresh coordinator, no checkpoint.
+	s2, err := store.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	second, err := NewCoordinator(Config{Spec: spec, Store: s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Resumed() {
+		t.Fatal("warm-store coordinator did not report resumed")
+	}
+	select {
+	case <-second.Done():
+	default:
+		t.Fatalf("warm-store sweep not complete at startup: %+v", second.Status())
+	}
+	res := second.Final()
+	if res.Leases != 0 {
+		t.Errorf("warm-store resume leased %d chunks, want 0", res.Leases)
+	}
+	if res.ChunksFromStore != res.ChunksTotal || res.ChunksTotal == 0 {
+		t.Errorf("chunks from store %d/%d", res.ChunksFromStore, res.ChunksTotal)
+	}
+	if got := res.Report.VerdictSummary(); got != want.VerdictSummary() {
+		t.Errorf("store-resumed verdict\n%q\nwant\n%q", got, want.VerdictSummary())
+	}
+
+	// A different sweep (k=1) over the same graph shares the slot but not
+	// the chunk keys: nothing resumes, nothing is misattributed.
+	other, err := NewCoordinator(Config{Spec: JobSpec{N: 3, K: 1, ChunkRanks: 16}, Store: s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Resumed() {
+		t.Error("k=1 sweep resumed from k=2 chunk blobs")
 	}
 }
 

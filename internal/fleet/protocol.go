@@ -154,10 +154,13 @@ type HeartbeatResponse struct {
 // Status is the live sweep accounting served at /v1/status and embedded
 // in gdpfleet's final JSON output.
 type Status struct {
-	Done            bool  `json:"done"`
-	Resumed         bool  `json:"resumed"`
-	ChunksTotal     int   `json:"chunks_total"`
-	ChunksCompleted int   `json:"chunks_completed"`
+	Done            bool `json:"done"`
+	Resumed         bool `json:"resumed"`
+	ChunksTotal     int  `json:"chunks_total"`
+	ChunksCompleted int  `json:"chunks_completed"`
+	// ChunksFromStore counts chunks proven by a verdict blob in the
+	// content-addressed store at startup — done without any lease.
+	ChunksFromStore int   `json:"chunks_from_store,omitempty"`
 	ChunksLeased    int   `json:"chunks_leased"`
 	Leases          int64 `json:"leases"`
 	// Releases counts leases reclaimed from dead or straggling workers
@@ -180,6 +183,7 @@ type Result struct {
 	Resumed         bool  `json:"resumed"`
 	ChunksTotal     int   `json:"chunks_total"`
 	ChunksCompleted int   `json:"chunks_completed"`
+	ChunksFromStore int   `json:"chunks_from_store,omitempty"`
 	Leases          int64 `json:"leases"`
 	Releases        int64 `json:"releases"`
 	Mismatches      int64 `json:"mismatches"`

@@ -180,3 +180,145 @@ func TestFingerprintAgreesWithIsomorphism(t *testing.T) {
 		}
 	}
 }
+
+// cycleGraph returns an n-cycle of processors.
+func cycleGraph(name string, n int) *Graph {
+	g := New(name)
+	for i := 0; i < n; i++ {
+		g.AddNode(Processor, NoLabel)
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// twoTriangles returns two disjoint processor triangles: the classic
+// WL-equivalent, non-isomorphic partner of the 6-cycle (every node is a
+// degree-2 processor with degree-2 neighbors, so WL refinement never splits
+// the color classes and the fingerprints collide).
+func twoTriangles(name string) *Graph {
+	g := New(name)
+	for i := 0; i < 6; i++ {
+		g.AddNode(Processor, NoLabel)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	return g
+}
+
+// TestFingerprintCollisionAdversarial pins the Fingerprint ↔ isomorphism
+// gap with the C6 vs 2×C3 pair and proves the collision-verification path
+// (Canonical byte inequality + IsomorphicBrute) actually triggers: the two
+// graphs share a fingerprint yet are distinguished by both verifiers.
+func TestFingerprintCollisionAdversarial(t *testing.T) {
+	c6 := cycleGraph("c6", 6)
+	tt := twoTriangles("2xc3")
+	if c6.Fingerprint() != tt.Fingerprint() {
+		t.Fatalf("expected WL fingerprint collision: C6=%x 2xC3=%x",
+			c6.Fingerprint(), tt.Fingerprint())
+	}
+	fa, fb := c6.Canonical(), tt.Canonical()
+	if !fa.Exact || !fb.Exact {
+		t.Fatalf("IR search should be exact on 6-node graphs (exact: %v %v)", fa.Exact, fb.Exact)
+	}
+	if fa.Equal(fb) {
+		t.Fatal("canonical forms must differ for non-isomorphic graphs")
+	}
+	if IsomorphicBrute(c6, tt) {
+		t.Fatal("IsomorphicBrute must reject C6 vs 2xC3")
+	}
+}
+
+func TestCanonicalInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, base := range []*Graph{buildTriangle(t), cycleGraph("c6", 6), twoTriangles("tt")} {
+		want := base.Canonical()
+		if !want.Exact {
+			t.Fatalf("%s: expected exact canonical form", base.Name())
+		}
+		if want.Hash != base.Fingerprint() {
+			t.Fatalf("%s: canonical hash must be the WL fingerprint", base.Name())
+		}
+		for i := 0; i < 20; i++ {
+			got := relabelRandom(base, rng).Canonical()
+			if !got.Equal(want) {
+				t.Fatalf("%s: canonical form changed under relabeling", base.Name())
+			}
+		}
+	}
+}
+
+func TestCanonicalLabelingDescribesGraph(t *testing.T) {
+	// The labeling must be a permutation, and applying it must reproduce the
+	// canonical bytes — i.e. Bytes really is an adjacency encoding of g.
+	g := cycleGraph("c8", 8)
+	g.AddNode(InputTerminal, NoLabel)
+	g.AddNode(OutputTerminal, NoLabel)
+	g.AddEdge(8, 0)
+	g.AddEdge(9, 4)
+	cf := g.Canonical()
+	n := g.NumNodes()
+	if len(cf.Labeling) != n {
+		t.Fatalf("labeling length %d, want %d", len(cf.Labeling), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range cf.Labeling {
+		if p < 0 || int(p) >= n || seen[p] {
+			t.Fatalf("labeling is not a permutation: %v", cf.Labeling)
+		}
+		seen[p] = true
+	}
+	// Rebuild the graph in canonical order and re-encode: must match.
+	h := New("rebuilt")
+	kinds := make([]Kind, n)
+	for v := 0; v < n; v++ {
+		kinds[cf.Labeling[v]] = g.Kind(v)
+	}
+	for v := 0; v < n; v++ {
+		h.AddNode(kinds[v], NoLabel)
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				h.AddEdge(int(cf.Labeling[v]), int(cf.Labeling[int(u)]))
+			}
+		}
+	}
+	if !h.Canonical().Equal(cf) {
+		t.Fatal("rebuilt graph has a different canonical form")
+	}
+}
+
+func TestCanonicalDistinguishesKindPlacement(t *testing.T) {
+	// Same skeleton, different terminal attachment: forms must differ and
+	// both be exact (so the inequality is a proof of non-isomorphism).
+	mk := func(at int) *Graph {
+		g := cycleGraph("c5", 5)
+		in := g.AddNode(InputTerminal, NoLabel)
+		g.AddEdge(in, at)
+		out := g.AddNode(OutputTerminal, NoLabel)
+		g.AddEdge(out, (at+1)%5)
+		return g
+	}
+	a, b := mk(0), mk(1)
+	if !IsomorphicBrute(a, b) {
+		t.Fatal("rotated attachments should be isomorphic on a symmetric cycle")
+	}
+	if !a.Canonical().Equal(b.Canonical()) {
+		t.Fatal("canonical forms must agree for isomorphic graphs")
+	}
+	c := mk(0)
+	c.RemoveEdge(6, 1)
+	c.AddEdge(6, 3) // output moved across the cycle: non-isomorphic
+	if IsomorphicBrute(a, c) {
+		t.Fatal("moved output should break isomorphism")
+	}
+	if a.Canonical().Equal(c.Canonical()) {
+		t.Fatal("canonical forms must differ for non-isomorphic placements")
+	}
+}

@@ -18,8 +18,21 @@ func (p Path) IsWalk(g *Graph) bool {
 	return true
 }
 
-// Distinct reports whether all nodes of p are distinct.
+// Distinct reports whether all nodes of p are distinct. Pipelines are
+// short (≤ the node count), so the quadratic scan beats a hash set — it
+// allocates nothing, which matters on the certificate-replay hot path
+// where CheckPipeline runs once per cached fault set.
 func (p Path) Distinct() bool {
+	if len(p) <= 64 {
+		for i := 1; i < len(p); i++ {
+			for j := 0; j < i; j++ {
+				if p[j] == p[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	seen := make(map[int]struct{}, len(p))
 	for _, v := range p {
 		if _, dup := seen[v]; dup {

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gdpn/internal/autom"
+	"gdpn/internal/graph"
+)
+
+// GraphRef is a registered graph's handle into the store: it owns the
+// slot id plus the labeling that translates between the graph's node ids
+// and the slot's canonical ids. Safe for concurrent use.
+type GraphRef struct {
+	s    *Store
+	slot int
+	lab  []int32 // original id -> canonical id
+	inv  []int32 // canonical id -> original id
+}
+
+// Register computes g's canonical form and returns its store handle,
+// creating the slot on first sight. Isomorphic graphs with byte-equal
+// canonical forms share one slot (and therefore all cached entries) even
+// when their concrete node ids differ.
+func (s *Store) Register(g *graph.Graph) *GraphRef {
+	cf := g.Canonical()
+	n := g.NumNodes()
+	inv := make([]int32, n)
+	for v, c := range cf.Labeling {
+		inv[c] = int32(v)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &GraphRef{s: s, slot: s.registerLocked(g, cf), lab: cf.Labeling, inv: inv}
+}
+
+// toCanon maps original node ids to sorted canonical ids. Fault sets are
+// small (≤ k elements), so insertion sort — no closure, no interface
+// boxing — keeps the per-lookup cost down on the replay hot path.
+func (r *GraphRef) toCanon(orig []int) []int32 {
+	out := make([]int32, len(orig))
+	for i, v := range orig {
+		out[i] = r.lab[v]
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// fromCanon maps canonical ids back to original node ids, preserving
+// order (a certificate path's order is meaningful).
+func (r *GraphRef) fromCanon(canon []int32) []int {
+	out := make([]int, len(canon))
+	for i, c := range canon {
+		out[i] = int(r.inv[c])
+	}
+	return out
+}
+
+// Verdict is one cached per-fault-set answer in original node ids. Path
+// is nil for negative verdicts. The caller MUST re-verify before trusting
+// it: replay Path via verify.CheckPipeline for positives, re-screen
+// negatives with cheap necessary conditions.
+type Verdict struct {
+	Found bool
+	Path  []int
+}
+
+// LookupVerdict returns the cached verdict for the fault set (original
+// node ids), if any.
+func (r *GraphRef) LookupVerdict(faults []int) (Verdict, bool) {
+	key := verdictKey{r.slot, idsKey(r.toCanon(faults))}
+	r.s.mu.Lock()
+	v, ok := r.s.verdicts[key]
+	r.s.mu.Unlock()
+	if !ok {
+		r.s.miss("verdict")
+		return Verdict{}, false
+	}
+	r.s.hit("verdict")
+	out := Verdict{Found: v.found}
+	if v.found {
+		out.Path = r.fromCanon(v.path)
+	}
+	return out, true
+}
+
+// PutVerdict records a verdict for the fault set. Re-recording an
+// existing key is a no-op (idempotent warm runs do not grow the file).
+func (r *GraphRef) PutVerdict(faults []int, v Verdict) {
+	set := r.toCanon(faults)
+	key := verdictKey{r.slot, idsKey(set)}
+	var path []int32
+	if v.Found {
+		path = make([]int32, len(v.Path))
+		for i, x := range v.Path {
+			path[i] = r.lab[x]
+		}
+	}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if _, ok := r.s.verdicts[key]; ok {
+		return
+	}
+	val := verdictVal{found: v.Found, path: path}
+	r.s.verdicts[key] = val
+	r.s.appendLocked(kindVerdict, encodeVerdict(key, val))
+}
+
+// LookupGroup rebuilds the cached automorphism group through
+// autom.FromGenerators, which certificate-checks every generator against
+// g before trusting it. A failing generator (corrupt entry, or an
+// isomorphic-but-relabeled graph whose canonical labeling translated a
+// generator imperfectly — impossible for byte-equal forms, but cheap to
+// defend against) turns the hit into a miss.
+func (r *GraphRef) LookupGroup(g *graph.Graph) (*autom.Group, bool) {
+	r.s.mu.Lock()
+	gv, ok := r.s.groups[r.slot]
+	r.s.mu.Unlock()
+	if !ok {
+		r.s.miss("group")
+		return nil, false
+	}
+	gens := make([]autom.Perm, len(gv.gens))
+	for i, pr := range gv.gens {
+		m := make([]int32, len(pr.m))
+		for c, tc := range pr.m {
+			// canonical perm q: q[c] = tc; original perm p = inv ∘ q ∘ lab.
+			m[r.inv[c]] = r.inv[tc]
+		}
+		gens[i] = autom.Perm{Map: m, IOSwap: pr.ioswap}
+	}
+	gr, err := autom.FromGenerators(g, gens, gv.complete, 0)
+	if err != nil {
+		r.s.miss("group")
+		return nil, false
+	}
+	r.s.hit("group")
+	return gr, true
+}
+
+// PutGroup caches the group's generators (translated to canonical ids).
+// Idempotent per slot: the first stored group wins.
+func (r *GraphRef) PutGroup(gr *autom.Group) {
+	gens := gr.Generators()
+	recs := make([]permRec, len(gens))
+	for i, p := range gens {
+		m := make([]int32, len(p.Map))
+		for v, tv := range p.Map {
+			m[r.lab[v]] = r.lab[tv]
+		}
+		recs[i] = permRec{m: m, ioswap: p.IOSwap}
+	}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if _, ok := r.s.groups[r.slot]; ok {
+		return
+	}
+	gv := groupVal{gens: recs, complete: gr.Complete()}
+	r.s.groups[r.slot] = gv
+	r.s.appendLocked(kindGroup, encodeGroup(r.slot, gv))
+}
+
+// GroupSig returns a labeling-invariant signature of the group as used by
+// sweep manifests: the FNV hash of the sorted canonical-id generator
+// encodings plus the completeness flag. Two runs over byte-equal
+// canonical forms that use the same group (computed or cache-loaded)
+// produce the same signature; any group difference invalidates manifests
+// rather than risking a different orbit partition.
+func (r *GraphRef) GroupSig(gr *autom.Group) uint64 {
+	if gr == nil {
+		return 0
+	}
+	gens := gr.Generators()
+	encs := make([]string, len(gens))
+	for i, p := range gens {
+		buf := make([]byte, 0, 1+4*len(p.Map))
+		buf = append(buf, boolByte(p.IOSwap))
+		m := make([]int32, len(p.Map))
+		for v, tv := range p.Map {
+			m[r.lab[v]] = r.lab[tv]
+		}
+		for _, tv := range m {
+			buf = appendU32(buf, uint32(tv))
+		}
+		encs[i] = string(buf)
+	}
+	sort.Strings(encs)
+	h := fnv.New64a()
+	h.Write([]byte{boolByte(gr.Complete())})
+	for _, e := range encs {
+		h.Write([]byte(e))
+	}
+	return h.Sum64()
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// SweepSig identifies a sweep configuration for manifest lookups: the
+// fault universe (canonical ids), the fault budget k, and the group
+// signature under which orbit minimality was decided.
+func (r *GraphRef) SweepSig(universe []int, k int, groupSig uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(k))
+	put(groupSig)
+	for _, c := range r.toCanon(universe) {
+		put(uint64(c))
+	}
+	return h.Sum64()
+}
+
+// LookupManifest returns the recorded orbit-representative fault sets
+// (original node ids) for one size class of a sweep, if a clean full
+// sweep recorded them. The sets come back in the stored order.
+func (r *GraphRef) LookupManifest(sig uint64, size int) ([][]int, bool) {
+	key := manifestKey{r.slot, sig, size}
+	r.s.mu.Lock()
+	sets, ok := r.s.manifests[key]
+	r.s.mu.Unlock()
+	if !ok {
+		r.s.miss("manifest")
+		return nil, false
+	}
+	out := make([][]int, len(sets))
+	for i, set := range sets {
+		out[i] = r.fromCanon(set)
+		sort.Ints(out[i]) // fault sets are sorted ascending everywhere
+	}
+	r.s.hit("manifest")
+	return out, true
+}
+
+// PutManifest records the orbit representatives of one size class. Only
+// call after a clean, complete sweep of that size (no interruption, no
+// fail-fast stop): a partial manifest would silently shrink later sweeps.
+// Idempotent per key: the first stored manifest wins.
+func (r *GraphRef) PutManifest(sig uint64, size int, sets [][]int) {
+	key := manifestKey{r.slot, sig, size}
+	enc := make([][]int32, len(sets))
+	for i, set := range sets {
+		enc[i] = r.toCanon(set)
+	}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if _, ok := r.s.manifests[key]; ok {
+		return
+	}
+	r.s.manifests[key] = enc
+	r.s.appendLocked(kindManifest, encodeManifest(key, enc))
+}
+
+// Blob returns the named opaque payload attached to this graph's slot.
+// Blob contents are caller-defined (the fleet stores chunk reports, the
+// CLIs store certificate-set JSON); the store only guarantees integrity
+// (CRC) and atomic persistence, not semantic validity — callers apply
+// their own re-checks per the package trust model.
+func (r *GraphRef) Blob(name string) ([]byte, bool) {
+	r.s.mu.Lock()
+	v, ok := r.s.blobs[blobKey{r.slot, name}]
+	r.s.mu.Unlock()
+	if !ok {
+		r.s.miss("blob")
+		return nil, false
+	}
+	r.s.hit("blob")
+	return append([]byte(nil), v.data...), true
+}
+
+// PutBlob stores (or supersedes) the named payload. Writing identical
+// bytes is a no-op.
+func (r *GraphRef) PutBlob(name string, data []byte) {
+	key := blobKey{r.slot, name}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if old, ok := r.s.blobs[key]; ok {
+		if string(old.data) == string(data) {
+			return
+		}
+		r.s.garbage += old.sz
+	}
+	off := len(r.s.buf)
+	r.s.appendLocked(kindBlob, encodeBlob(key, data))
+	r.s.blobs[key] = blobVal{
+		data: append([]byte(nil), data...),
+		off:  off,
+		sz:   len(r.s.buf) - off,
+	}
+}
+
+// Slot exposes the slot id (stable within one store file) for diagnostics.
+func (r *GraphRef) Slot() int { return r.slot }
+
+// Store returns the backing store.
+func (r *GraphRef) Store() *Store { return r.s }
+
+// String implements fmt.Stringer for log lines.
+func (r *GraphRef) String() string {
+	return fmt.Sprintf("store-slot %d", r.slot)
+}

@@ -1,0 +1,700 @@
+// Package store is the persistent, content-addressed verdict and
+// certificate store behind incremental re-verification (ROADMAP item 4).
+//
+// A Store is one file of versioned, checksummed, append-only binary
+// records over an in-memory index. Records are never mutated in place;
+// newer records supersede older ones (blobs) or are idempotent duplicates
+// (verdicts, groups, manifests), and Compact rewrites the file keeping
+// only live records. Flush persists atomically by writing the complete
+// image to a temp file in the same directory and renaming it over the
+// store path, so a crash can never leave a half-written store; a torn or
+// corrupted tail from a foreign writer is detected by the per-record
+// CRC32 on open and dropped (the valid prefix is kept).
+//
+// Content addressing: graphs are registered under their strengthened
+// canonical key (graph.CanonicalForm). The WL fingerprint buckets
+// candidate slots; byte equality of the canonical encoding decides slot
+// reuse, so a slot hit is sound even on fingerprint collisions (equal
+// canonical bytes prove isomorphism unconditionally). Colliding
+// fingerprints with unequal bytes get distinct slots — when either form
+// is inexact and the graphs are small, IsomorphicBrute classifies the
+// collision for the store_canon_collision_total counter, but the store
+// conservatively keeps separate slots either way: without an explicit
+// isomorphism there is no labeling to translate fault sets through, so
+// merging would be unsound while splitting is merely a cache miss.
+//
+// Everything inside a slot lives in canonical node ids (fault sets,
+// certificate paths, automorphism generators, manifests), translated
+// through the registering graph's CanonicalForm.Labeling on the way in
+// and its inverse on the way out. Two byte-identical canonical forms
+// therefore share entries even when the concrete graphs label their
+// nodes differently.
+//
+// Trust model: the store is an untrusted hint, never an oracle. Positive
+// verdicts carry their pipeline certificate and callers must replay it
+// (verify.CheckPipeline) before trusting the hit; automorphism groups are
+// rebuilt through autom.FromGenerators, which certificate-checks every
+// generator; negative verdicts are re-screened by cheap necessary
+// conditions on the caller side. A corrupt or adversarial store can
+// therefore cause extra work (misses, replay failures counted by
+// store_replay_fail_total) but never a wrong verdict.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"gdpn/internal/graph"
+	"gdpn/internal/obs"
+)
+
+// File layout constants.
+const (
+	fileVersion   = 1
+	recordVersion = 1
+
+	kindGraph    = 1
+	kindVerdict  = 2
+	kindGroup    = 3
+	kindManifest = 4
+	kindBlob     = 5
+)
+
+var fileMagic = [4]byte{'G', 'D', 'P', 'S'}
+
+// headerLen is magic + u16 file version.
+const headerLen = 6
+
+// recordOverhead is version byte + kind byte + u32 payload length + u32 CRC.
+const recordOverhead = 10
+
+// Store is the in-memory index plus the encoded record image of one store
+// file. All methods are safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	path string
+
+	// buf holds the encoded records (everything after the header) exactly
+	// as they will be written by Flush. Appends go here first; dirty counts
+	// records not yet persisted.
+	buf     []byte
+	dirty   int
+	entries int
+	// garbage counts superseded record bytes (blob overwrites); Compact
+	// rewrites when it grows past half the file.
+	garbage int
+
+	slots     []*slot
+	byHash    map[uint64][]int
+	verdicts  map[verdictKey]verdictVal
+	groups    map[int]groupVal
+	manifests map[manifestKey][][]int32
+	blobs     map[blobKey]blobVal
+
+	hitC, missC      map[string]*obs.Counter
+	collisionC       map[string]*obs.Counter
+	bytesG, entriesG *obs.Gauge
+}
+
+type slot struct {
+	hash  uint64
+	bytes []byte
+	exact bool
+}
+
+type verdictKey struct {
+	slot int
+	set  string // encoded sorted canonical ids
+}
+
+type verdictVal struct {
+	found bool
+	path  []int32 // canonical ids; nil unless found
+}
+
+type groupVal struct {
+	gens     []permRec
+	complete bool
+}
+
+type permRec struct {
+	m      []int32
+	ioswap bool
+}
+
+type manifestKey struct {
+	slot int
+	sig  uint64
+	size int
+}
+
+type blobKey struct {
+	slot int
+	name string
+}
+
+type blobVal struct {
+	data []byte
+	off  int // record offset in buf, for garbage accounting
+	sz   int
+}
+
+// Open loads (or creates) the store at path. A missing file yields an
+// empty store; a corrupt tail is dropped with only the valid record
+// prefix retained.
+func Open(path string) (*Store, error) {
+	s := &Store{
+		path:       path,
+		byHash:     map[uint64][]int{},
+		verdicts:   map[verdictKey]verdictVal{},
+		groups:     map[int]groupVal{},
+		manifests:  map[manifestKey][][]int32{},
+		blobs:      map[blobKey]blobVal{},
+		hitC:       map[string]*obs.Counter{},
+		missC:      map[string]*obs.Counter{},
+		collisionC: map[string]*obs.Counter{},
+		bytesG:     obs.Default().Gauge("store_bytes"),
+		entriesG:   obs.Default().Gauge("store_entries"),
+	}
+	// Pre-resolve the per-kind counters: hit/miss are called outside s.mu
+	// on the lookup fast path, so the maps must be read-only after Open.
+	for _, kind := range []string{"verdict", "group", "manifest", "blob"} {
+		s.hitC[kind] = obs.Default().Counter("store_hit_total", obs.L("kind", kind))
+		s.missC[kind] = obs.Default().Counter("store_miss_total", obs.L("kind", kind))
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.publishSizes()
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	if len(raw) == 0 {
+		s.publishSizes()
+		return s, nil
+	}
+	if len(raw) < headerLen || [4]byte(raw[:4]) != fileMagic {
+		return nil, fmt.Errorf("store: %s is not a gdpn store file", path)
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:6]); v != fileVersion {
+		return nil, fmt.Errorf("store: %s has unsupported version %d", path, v)
+	}
+	body := raw[headerLen:]
+	off := 0
+	for off < len(body) {
+		rec, n, ok := parseRecord(body[off:])
+		if !ok {
+			break // torn/corrupt tail: keep the valid prefix
+		}
+		if err := s.apply(rec, off, n); err != nil {
+			return nil, fmt.Errorf("store: %s: record at offset %d: %w", path, headerLen+off, err)
+		}
+		off += n
+		s.entries++
+	}
+	s.buf = append(s.buf, body[:off]...)
+	s.publishSizes()
+	return s, nil
+}
+
+type record struct {
+	kind    byte
+	payload []byte
+}
+
+func parseRecord(b []byte) (record, int, bool) {
+	if len(b) < recordOverhead {
+		return record{}, 0, false
+	}
+	if b[0] != recordVersion {
+		return record{}, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b[2:6]))
+	n := recordOverhead + plen
+	if plen < 0 || len(b) < n {
+		return record{}, 0, false
+	}
+	payload := b[6 : 6+plen]
+	want := binary.LittleEndian.Uint32(b[6+plen : n])
+	if crc32.ChecksumIEEE(b[:6+plen]) != want {
+		return record{}, 0, false
+	}
+	return record{kind: b[1], payload: payload}, n, true
+}
+
+func appendRecord(buf []byte, kind byte, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, recordVersion, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// apply replays one decoded record into the index. off/n locate the record
+// in buf for blob garbage accounting.
+func (s *Store) apply(rec record, off, n int) error {
+	p := &payloadReader{b: rec.payload}
+	switch rec.kind {
+	case kindGraph:
+		slotID := p.uvarint()
+		hash := p.u64()
+		exact := p.byte() != 0
+		cb := p.bytes()
+		if p.err != nil {
+			return p.err
+		}
+		if int(slotID) != len(s.slots) {
+			return fmt.Errorf("graph record out of order: slot %d, have %d", slotID, len(s.slots))
+		}
+		s.slots = append(s.slots, &slot{hash: hash, bytes: cb, exact: exact})
+		s.byHash[hash] = append(s.byHash[hash], int(slotID))
+	case kindVerdict:
+		slotID := int(p.uvarint())
+		set := p.ids()
+		found := p.byte() != 0
+		var path []int32
+		if found {
+			path = p.ids()
+		}
+		if p.err != nil {
+			return p.err
+		}
+		if slotID >= len(s.slots) {
+			return fmt.Errorf("verdict for unknown slot %d", slotID)
+		}
+		s.verdicts[verdictKey{slotID, idsKey(set)}] = verdictVal{found: found, path: path}
+	case kindGroup:
+		slotID := int(p.uvarint())
+		complete := p.byte() != 0
+		ngens := int(p.uvarint())
+		gens := make([]permRec, 0, ngens)
+		for i := 0; i < ngens; i++ {
+			ioswap := p.byte() != 0
+			gens = append(gens, permRec{m: p.ids(), ioswap: ioswap})
+		}
+		if p.err != nil {
+			return p.err
+		}
+		if slotID >= len(s.slots) {
+			return fmt.Errorf("group for unknown slot %d", slotID)
+		}
+		s.groups[slotID] = groupVal{gens: gens, complete: complete}
+	case kindManifest:
+		slotID := int(p.uvarint())
+		sig := p.u64()
+		size := int(p.uvarint())
+		count := int(p.uvarint())
+		sets := make([][]int32, 0, count)
+		for i := 0; i < count; i++ {
+			set := make([]int32, size)
+			for j := range set {
+				set[j] = int32(p.uvarint())
+			}
+			sets = append(sets, set)
+		}
+		if p.err != nil {
+			return p.err
+		}
+		if slotID >= len(s.slots) {
+			return fmt.Errorf("manifest for unknown slot %d", slotID)
+		}
+		s.manifests[manifestKey{slotID, sig, size}] = sets
+	case kindBlob:
+		slotID := int(p.uvarint())
+		name := string(p.bytes())
+		data := p.bytes()
+		if p.err != nil {
+			return p.err
+		}
+		if slotID >= len(s.slots) {
+			return fmt.Errorf("blob for unknown slot %d", slotID)
+		}
+		k := blobKey{slotID, name}
+		if old, ok := s.blobs[k]; ok {
+			s.garbage += old.sz
+		}
+		s.blobs[k] = blobVal{data: data, off: off, sz: n}
+	default:
+		return fmt.Errorf("unknown record kind %d", rec.kind)
+	}
+	return nil
+}
+
+// payloadReader decodes record payloads, latching the first error.
+type payloadReader struct {
+	b   []byte
+	err error
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		p.err = errors.New("truncated uvarint")
+		return 0
+	}
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *payloadReader) u64() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.b) < 8 {
+		p.err = errors.New("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(p.b)
+	p.b = p.b[8:]
+	return v
+}
+
+func (p *payloadReader) byte() byte {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.b) == 0 {
+		p.err = errors.New("truncated byte")
+		return 0
+	}
+	v := p.b[0]
+	p.b = p.b[1:]
+	return v
+}
+
+func (p *payloadReader) bytes() []byte {
+	n := int(p.uvarint())
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || len(p.b) < n {
+		p.err = errors.New("truncated bytes")
+		return nil
+	}
+	v := append([]byte(nil), p.b[:n]...)
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *payloadReader) ids() []int32 {
+	n := int(p.uvarint())
+	if p.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(p.uvarint())
+	}
+	return out
+}
+
+func appendIDs(buf []byte, ids []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, v := range ids {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+// idsKey packs sorted canonical ids into a map key.
+func idsKey(ids []int32) string {
+	buf := make([]byte, 0, 4*len(ids))
+	for _, v := range ids {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return string(buf)
+}
+
+// append encodes and indexes one new record under s.mu.
+func (s *Store) appendLocked(kind byte, payload []byte) {
+	s.buf = appendRecord(s.buf, kind, payload)
+	s.entries++
+	s.dirty++
+}
+
+// Flush atomically persists the current image: full temp-file write in the
+// store's directory followed by rename. A no-op when nothing changed since
+// the last flush.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.dirty == 0 {
+		s.publishSizes()
+		return nil
+	}
+	img := make([]byte, 0, headerLen+len(s.buf))
+	img = append(img, fileMagic[:]...)
+	img = binary.LittleEndian.AppendUint16(img, fileVersion)
+	img = append(img, s.buf...)
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	s.dirty = 0
+	s.publishSizes()
+	return nil
+}
+
+// Close flushes the store, compacting first when superseded records exceed
+// half the image.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.garbage*2 > len(s.buf) {
+		s.compactLocked()
+	}
+	return s.flushLocked()
+}
+
+// Compact rewrites the record image keeping only live records (dropping
+// superseded blob versions) and persists it.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactLocked()
+	return s.flushLocked()
+}
+
+func (s *Store) compactLocked() {
+	old := s.buf
+	s.buf = make([]byte, 0, len(old))
+	s.entries = 0
+	s.garbage = 0
+	for id, sl := range s.slots {
+		payload := binary.AppendUvarint(nil, uint64(id))
+		payload = binary.LittleEndian.AppendUint64(payload, sl.hash)
+		payload = append(payload, boolByte(sl.exact))
+		payload = binary.AppendUvarint(payload, uint64(len(sl.bytes)))
+		payload = append(payload, sl.bytes...)
+		s.appendLocked(kindGraph, payload)
+	}
+	for _, k := range sortedVerdictKeys(s.verdicts) {
+		s.appendLocked(kindVerdict, encodeVerdict(k, s.verdicts[k]))
+	}
+	for slotID := range s.slots {
+		if gv, ok := s.groups[slotID]; ok {
+			s.appendLocked(kindGroup, encodeGroup(slotID, gv))
+		}
+	}
+	for _, k := range sortedManifestKeys(s.manifests) {
+		s.appendLocked(kindManifest, encodeManifest(k, s.manifests[k]))
+	}
+	for _, k := range sortedBlobKeys(s.blobs) {
+		s.appendLocked(kindBlob, encodeBlob(k, s.blobs[k].data))
+	}
+	s.dirty++ // force the flush even if record counts coincide
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func encodeVerdict(k verdictKey, v verdictVal) []byte {
+	payload := binary.AppendUvarint(nil, uint64(k.slot))
+	payload = binary.AppendUvarint(payload, uint64(countIDs(k.set)))
+	payload = append(payload, k.set...)
+	payload = append(payload, boolByte(v.found))
+	if v.found {
+		payload = appendIDs(payload, v.path)
+	}
+	return payload
+}
+
+// countIDs recovers the id count from an idsKey encoding.
+func countIDs(set string) int {
+	b := []byte(set)
+	n := 0
+	for len(b) > 0 {
+		_, w := binary.Uvarint(b)
+		if w <= 0 {
+			break
+		}
+		b = b[w:]
+		n++
+	}
+	return n
+}
+
+func encodeGroup(slotID int, gv groupVal) []byte {
+	payload := binary.AppendUvarint(nil, uint64(slotID))
+	payload = append(payload, boolByte(gv.complete))
+	payload = binary.AppendUvarint(payload, uint64(len(gv.gens)))
+	for _, g := range gv.gens {
+		payload = append(payload, boolByte(g.ioswap))
+		payload = appendIDs(payload, g.m)
+	}
+	return payload
+}
+
+func encodeManifest(k manifestKey, sets [][]int32) []byte {
+	payload := binary.AppendUvarint(nil, uint64(k.slot))
+	payload = binary.LittleEndian.AppendUint64(payload, k.sig)
+	payload = binary.AppendUvarint(payload, uint64(k.size))
+	payload = binary.AppendUvarint(payload, uint64(len(sets)))
+	for _, set := range sets {
+		for _, v := range set {
+			payload = binary.AppendUvarint(payload, uint64(v))
+		}
+	}
+	return payload
+}
+
+func encodeBlob(k blobKey, data []byte) []byte {
+	payload := binary.AppendUvarint(nil, uint64(k.slot))
+	payload = binary.AppendUvarint(payload, uint64(len(k.name)))
+	payload = append(payload, k.name...)
+	payload = binary.AppendUvarint(payload, uint64(len(data)))
+	payload = append(payload, data...)
+	return payload
+}
+
+func sortedVerdictKeys(m map[verdictKey]verdictVal) []verdictKey {
+	keys := make([]verdictKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].slot != keys[j].slot {
+			return keys[i].slot < keys[j].slot
+		}
+		return keys[i].set < keys[j].set
+	})
+	return keys
+}
+
+func sortedManifestKeys(m map[manifestKey][][]int32) []manifestKey {
+	keys := make([]manifestKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.slot != b.slot {
+			return a.slot < b.slot
+		}
+		if a.sig != b.sig {
+			return a.sig < b.sig
+		}
+		return a.size < b.size
+	})
+	return keys
+}
+
+func sortedBlobKeys(m map[blobKey]blobVal) []blobKey {
+	keys := make([]blobKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].slot != keys[j].slot {
+			return keys[i].slot < keys[j].slot
+		}
+		return keys[i].name < keys[j].name
+	})
+	return keys
+}
+
+// Stats is a point-in-time size summary, also published as the
+// store_bytes/store_entries gauges.
+type Stats struct {
+	Path    string `json:"path"`
+	Bytes   int    `json:"bytes"`
+	Entries int    `json:"entries"`
+	Slots   int    `json:"slots"`
+	Dirty   int    `json:"dirty"`
+}
+
+// Stats returns current sizes.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Path:    s.path,
+		Bytes:   headerLen + len(s.buf),
+		Entries: s.entries,
+		Slots:   len(s.slots),
+		Dirty:   s.dirty,
+	}
+}
+
+func (s *Store) publishSizes() {
+	s.bytesG.Set(int64(headerLen + len(s.buf)))
+	s.entriesG.Set(int64(s.entries))
+}
+
+// counter caches obs counters per (name, kind). The known kinds are
+// pre-resolved in Open so the hit/miss fast path (called outside s.mu)
+// only ever reads the map; unknown kinds appear solely on locked paths.
+func (s *Store) counter(m map[string]*obs.Counter, name, kind string) *obs.Counter {
+	c, ok := m[kind]
+	if !ok {
+		c = obs.Default().Counter(name, obs.L("kind", kind))
+		m[kind] = c
+	}
+	return c
+}
+
+func (s *Store) hit(kind string)  { s.counter(s.hitC, "store_hit_total", kind).Add(1) }
+func (s *Store) miss(kind string) { s.counter(s.missC, "store_miss_total", kind).Add(1) }
+
+// registerLocked finds or creates the slot for cf, classifying fingerprint
+// collisions per the package trust model.
+func (s *Store) registerLocked(g *graph.Graph, cf graph.CanonicalForm) int {
+	for _, id := range s.byHash[cf.Hash] {
+		sl := s.slots[id]
+		if string(sl.bytes) == string(cf.Bytes) {
+			return id
+		}
+		// Fingerprint collision with distinct canonical bytes. Classify for
+		// observability; always keep separate slots (see package comment).
+		result := "distinct"
+		if (!sl.exact || !cf.Exact) && len(g.Processors()) <= 12 {
+			if other, err := graph.DecodeCanonical(sl.bytes); err == nil && graph.IsomorphicBrute(g, other) {
+				result = "isomorphic"
+			}
+		}
+		s.counter(s.collisionC, "store_canon_collision_total", result).Add(1)
+	}
+	id := len(s.slots)
+	s.slots = append(s.slots, &slot{hash: cf.Hash, bytes: cf.Bytes, exact: cf.Exact})
+	s.byHash[cf.Hash] = append(s.byHash[cf.Hash], id)
+	payload := binary.AppendUvarint(nil, uint64(id))
+	payload = binary.LittleEndian.AppendUint64(payload, cf.Hash)
+	payload = append(payload, boolByte(cf.Exact))
+	payload = binary.AppendUvarint(payload, uint64(len(cf.Bytes)))
+	payload = append(payload, cf.Bytes...)
+	s.appendLocked(kindGraph, payload)
+	return id
+}

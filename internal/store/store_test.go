@@ -1,0 +1,318 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gdpn/internal/autom"
+	"gdpn/internal/graph"
+)
+
+// ringGraph builds a processor n-cycle with an input terminal on node 0
+// and an output terminal on node n/2.
+func ringGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New("ring")
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Processor, graph.NoLabel)
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	in := g.AddNode(graph.InputTerminal, graph.NoLabel)
+	g.AddEdge(in, 0)
+	out := g.AddNode(graph.OutputTerminal, graph.NoLabel)
+	g.AddEdge(out, n/2)
+	return g
+}
+
+// relabel returns g with node ids permuted by a fixed seeded shuffle.
+func relabel(g *graph.Graph, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	perm := rng.Perm(n)
+	out := graph.New(g.Name())
+	kinds := make([]graph.Kind, n)
+	for v := 0; v < n; v++ {
+		kinds[perm[v]] = g.Kind(v)
+	}
+	for v := 0; v < n; v++ {
+		out.AddNode(kinds[v], graph.NoLabel)
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				out.AddEdge(perm[v], perm[int(u)])
+			}
+		}
+	}
+	return out
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.gdps")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ringGraph(t, 6)
+	ref := s.Register(g)
+	ref.PutVerdict([]int{1, 3}, Verdict{Found: true, Path: []int{6, 0, 5, 4, 2, 7}})
+	ref.PutVerdict([]int{0, 2, 4}, Verdict{Found: false})
+	gr := autom.Compute(g, autom.Options{})
+	ref.PutGroup(gr)
+	sig := ref.SweepSig([]int{0, 1, 2, 3, 4, 5}, 3, ref.GroupSig(gr))
+	ref.PutManifest(sig, 2, [][]int{{1, 3}, {0, 2}})
+	ref.PutBlob("chunk/0-100", []byte("report-json"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ref2 := s2.Register(g)
+	if ref2.Slot() != ref.Slot() {
+		t.Fatalf("slot changed across reopen: %d vs %d", ref2.Slot(), ref.Slot())
+	}
+	v, ok := ref2.LookupVerdict([]int{3, 1})
+	if !ok || !v.Found {
+		t.Fatalf("positive verdict lost: %+v ok=%v", v, ok)
+	}
+	if len(v.Path) != 6 || v.Path[0] != 6 || v.Path[5] != 7 {
+		t.Fatalf("path mangled: %v", v.Path)
+	}
+	if v, ok := ref2.LookupVerdict([]int{0, 2, 4}); !ok || v.Found {
+		t.Fatalf("negative verdict lost: %+v ok=%v", v, ok)
+	}
+	if _, ok := ref2.LookupVerdict([]int{0, 1}); ok {
+		t.Fatal("phantom verdict")
+	}
+	gr2, ok := ref2.LookupGroup(g)
+	if !ok {
+		t.Fatal("group lost")
+	}
+	if got, want := len(gr2.Generators()), len(gr.Generators()); got != want {
+		t.Fatalf("generator count %d, want %d", got, want)
+	}
+	if ref2.GroupSig(gr2) != ref.GroupSig(gr) {
+		t.Fatal("group signature changed across reload")
+	}
+	sets, ok := ref2.LookupManifest(sig, 2)
+	if !ok || len(sets) != 2 || sets[0][0] != 1 || sets[0][1] != 3 {
+		t.Fatalf("manifest lost or mangled: %v ok=%v", sets, ok)
+	}
+	if b, ok := ref2.Blob("chunk/0-100"); !ok || string(b) != "report-json" {
+		t.Fatalf("blob lost: %q ok=%v", b, ok)
+	}
+}
+
+func TestStoreSharedSlotAcrossRelabelings(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s.gdps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a := ringGraph(t, 6)
+	b := relabel(a, 7)
+	ra, rb := s.Register(a), s.Register(b)
+	if ra.Slot() != rb.Slot() {
+		t.Fatalf("isomorphic graphs got distinct slots %d, %d", ra.Slot(), rb.Slot())
+	}
+	// A verdict stored through a must be visible through b under b's ids.
+	// Find b's image of a's fault set {1,3} by locating the shared slot's
+	// canonical translation: store through a, scan b's id space for a hit.
+	ra.PutVerdict([]int{1, 3}, Verdict{Found: false})
+	hits := 0
+	n := b.NumNodes()
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if b.Kind(x) != graph.Processor || b.Kind(y) != graph.Processor {
+				continue
+			}
+			if v, ok := rb.LookupVerdict([]int{x, y}); ok && !v.Found {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("verdict not visible through the relabeled graph")
+	}
+	// The group stored through a must certificate-check through b.
+	gr := autom.Compute(a, autom.Options{})
+	if gr.Trivial() {
+		t.Fatal("test needs a non-trivial group")
+	}
+	ra.PutGroup(gr)
+	grb, ok := rb.LookupGroup(b)
+	if !ok {
+		t.Fatal("group not visible through the relabeled graph")
+	}
+	for _, p := range grb.Generators() {
+		if err := autom.CheckAutomorphism(b, p); err != nil {
+			t.Fatalf("translated generator invalid: %v", err)
+		}
+	}
+}
+
+func TestStoreFingerprintCollisionSeparatesSlots(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s.gdps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c6 := graph.New("c6")
+	for i := 0; i < 6; i++ {
+		c6.AddNode(graph.Processor, graph.NoLabel)
+	}
+	for i := 0; i < 6; i++ {
+		c6.AddEdge(i, (i+1)%6)
+	}
+	tt := graph.New("2xc3")
+	for i := 0; i < 6; i++ {
+		tt.AddNode(graph.Processor, graph.NoLabel)
+	}
+	tt.AddEdge(0, 1)
+	tt.AddEdge(1, 2)
+	tt.AddEdge(2, 0)
+	tt.AddEdge(3, 4)
+	tt.AddEdge(4, 5)
+	tt.AddEdge(5, 3)
+	if c6.Fingerprint() != tt.Fingerprint() {
+		t.Fatal("test premise: fingerprints must collide")
+	}
+	r1, r2 := s.Register(c6), s.Register(tt)
+	if r1.Slot() == r2.Slot() {
+		t.Fatal("non-isomorphic colliding graphs merged into one slot")
+	}
+	r1.PutVerdict([]int{0, 1}, Verdict{Found: true, Path: []int{2, 3, 4, 5}})
+	if _, ok := r2.LookupVerdict([]int{0, 1}); ok {
+		t.Fatal("verdict leaked across colliding slots")
+	}
+}
+
+func TestStoreTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.gdps")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ringGraph(t, 6)
+	ref := s.Register(g)
+	ref.PutVerdict([]int{1, 2}, Verdict{Found: false})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage (simulating a torn foreign append) and corrupt it.
+	torn := append(append([]byte(nil), raw...), 1, kindVerdict, 0xff, 0xff, 0xff)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer s2.Close()
+	ref2 := s2.Register(g)
+	if _, ok := ref2.LookupVerdict([]int{1, 2}); !ok {
+		t.Fatal("valid prefix lost with the torn tail")
+	}
+	// Flipping a byte inside a record's payload must drop that record and
+	// everything after it, but never produce a wrong answer.
+	raw[len(raw)-3] ^= 0xa5
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatalf("corrupt record must not fail open: %v", err)
+	}
+	defer s3.Close()
+	ref3 := s3.Register(g)
+	if v, ok := ref3.LookupVerdict([]int{1, 2}); ok && v.Found {
+		t.Fatal("corruption flipped a verdict")
+	}
+}
+
+func TestStoreIdempotentPutsAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.gdps")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ringGraph(t, 6)
+	ref := s.Register(g)
+	ref.PutVerdict([]int{1, 2}, Verdict{Found: false})
+	before := s.Stats().Bytes
+	// Idempotent re-puts must not grow the image.
+	ref.PutVerdict([]int{2, 1}, Verdict{Found: false})
+	ref.PutVerdict([]int{1, 2}, Verdict{Found: true, Path: []int{0}}) // first write wins
+	if got := s.Stats().Bytes; got != before {
+		t.Fatalf("idempotent puts grew the image: %d -> %d", before, got)
+	}
+	if v, _ := ref.LookupVerdict([]int{1, 2}); v.Found {
+		t.Fatal("re-put overwrote the first verdict")
+	}
+	// Superseding blob writes create garbage; Compact reclaims it.
+	for i := 0; i < 20; i++ {
+		ref.PutBlob("ck", []byte{byte(i), 0, 1, 2, 3, 4, 5, 6, 7})
+	}
+	grew := s.Stats().Bytes
+	if grew <= before {
+		t.Fatal("blob supersession should grow the image before compaction")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := s.Stats().Bytes
+	if shrunk >= grew {
+		t.Fatalf("compaction did not shrink: %d -> %d", grew, shrunk)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ref2 := s2.Register(g)
+	if b, ok := ref2.Blob("ck"); !ok || b[0] != 19 {
+		t.Fatalf("latest blob lost across compaction: %v ok=%v", b, ok)
+	}
+	if v, ok := ref2.LookupVerdict([]int{1, 2}); !ok || v.Found {
+		t.Fatal("verdict lost across compaction")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s.gdps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := ringGraph(t, 8)
+	ref := s.Register(g)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				f := []int{(w + i) % 8, (w + i + 3) % 8}
+				ref.PutVerdict(f, Verdict{Found: false})
+				ref.LookupVerdict(f)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

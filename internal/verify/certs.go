@@ -88,29 +88,50 @@ func (cs *CertificateSet) Replay(g *graph.Graph) error {
 	seen := make(map[string]bool, len(cs.Certs))
 	faults := bitset.New(cs.Nodes)
 	for i, c := range cs.Certs {
+		ref := cs.certRef(i, c.Faults)
 		if len(c.Faults) > cs.K {
-			return fmt.Errorf("verify: certificate %d has %d faults > k", i, len(c.Faults))
+			return fmt.Errorf("verify: %s has %d faults > k", ref, len(c.Faults))
 		}
 		faults.Clear()
 		for _, v := range c.Faults {
 			if v < 0 || v >= cs.Nodes {
-				return fmt.Errorf("verify: certificate %d: fault %d out of range", i, v)
+				return fmt.Errorf("verify: %s: fault %d out of range", ref, v)
 			}
 			if faults.Contains(v) {
-				return fmt.Errorf("verify: certificate %d: duplicate fault %d", i, v)
+				return fmt.Errorf("verify: %s: duplicate fault %d", ref, v)
 			}
 			faults.Add(v)
 		}
 		key := faults.String()
 		if seen[key] {
-			return fmt.Errorf("verify: duplicate certificate for fault set %v", c.Faults)
+			return fmt.Errorf("verify: duplicate certificate for %s", ref)
 		}
 		seen[key] = true
 		if err := CheckPipeline(g, faults, graph.Path(c.Pipeline)); err != nil {
-			return fmt.Errorf("verify: certificate %d (faults %v): %w", i, c.Faults, err)
+			return fmt.Errorf("verify: %s: %w", ref, err)
 		}
 	}
 	return nil
+}
+
+// certRef locates one certificate for error messages: its index, the
+// decoded fault set, and — when the set is a well-formed strictly-
+// increasing subset — its lexicographic rank within its size class, so
+// the failing entry can be found again without the certificate file (an
+// Exhaustive sweep and a fleet shard both address that rank directly).
+func (cs *CertificateSet) certRef(i int, set []int) string {
+	sorted := true
+	for j, v := range set {
+		if v < 0 || v >= cs.Nodes || (j > 0 && v <= set[j-1]) {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		return fmt.Sprintf("certificate %d (malformed fault set %v)", i, set)
+	}
+	return fmt.Sprintf("certificate %d (size %d rank %d, fault set %v)",
+		i, len(set), combin.Rank(cs.Nodes, set), set)
 }
 
 // Write streams the certificate set as JSON.

@@ -2,6 +2,8 @@ package verify_test
 
 import (
 	"bytes"
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -95,6 +97,85 @@ func TestReplayRejectsBadFaultLists(t *testing.T) {
 	toomany.Certs[0] = verify.Certificate{Faults: []int{0, 1}, Pipeline: cs.Certs[0].Pipeline}
 	if err := toomany.Replay(sol.Graph); err == nil {
 		t.Fatal("oversized fault set accepted")
+	}
+}
+
+// TestReplayErrorsLocateTheCertificate corrupts witnesses in specific
+// ways and asserts the Replay error carries everything needed to find the
+// failing entry again without the certificate file: the fault set's
+// lexicographic rank within its size class AND the decoded fault set.
+func TestReplayErrorsLocateTheCertificate(t *testing.T) {
+	cs, sol := certified(t, 4, 2)
+
+	// Pick a mid-stream certificate with a non-empty fault set so rank and
+	// set are both non-trivial.
+	victim := -1
+	for i, c := range cs.Certs {
+		if len(c.Faults) == 2 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no size-2 certificate found")
+	}
+	orig := cs.Certs[victim]
+
+	corrupt := map[string]func(c *verify.Certificate){
+		"truncated path": func(c *verify.Certificate) {
+			c.Pipeline = c.Pipeline[:len(c.Pipeline)-1]
+		},
+		"wrong endpoint": func(c *verify.Certificate) {
+			// Replace the terminal endpoint with the adjacent processor:
+			// the path then starts mid-pipeline.
+			c.Pipeline = c.Pipeline[1:]
+		},
+		"skipped processor": func(c *verify.Certificate) {
+			// Splice out an interior processor: endpoints stay valid but
+			// the interior no longer covers every healthy processor.
+			mid := len(c.Pipeline) / 2
+			c.Pipeline = append(append([]int(nil), c.Pipeline[:mid]...), c.Pipeline[mid+1:]...)
+		},
+		"faulty node on path": func(c *verify.Certificate) {
+			f := []int{c.Pipeline[1], c.Pipeline[2]}
+			sort.Ints(f)
+			c.Faults = f
+		},
+	}
+	for name, breakIt := range corrupt {
+		bad := *cs
+		bad.Certs = append([]verify.Certificate(nil), cs.Certs...)
+		cpy := verify.Certificate{
+			Faults:   append([]int(nil), orig.Faults...),
+			Pipeline: append([]int(nil), orig.Pipeline...),
+		}
+		breakIt(&cpy)
+		bad.Certs[victim] = cpy
+		err := bad.Replay(sol.Graph)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		wantSet := fmt.Sprintf("fault set %v", cpy.Faults)
+		// The rank must describe the decoded set as it appears in the
+		// (possibly tampered) certificate.
+		wantRank := combin.Rank(cs.Nodes, cpy.Faults)
+		if !strings.Contains(err.Error(), fmt.Sprintf("rank %d", wantRank)) {
+			t.Errorf("%s: error %q lacks the fault set's rank %d", name, err, wantRank)
+		}
+		if !strings.Contains(err.Error(), wantSet) {
+			t.Errorf("%s: error %q lacks the decoded %s", name, err, wantSet)
+		}
+	}
+
+	// A malformed (unsorted) fault list cannot be ranked; the error must
+	// still decode the set rather than panic in the ranker.
+	bad := *cs
+	bad.Certs = append([]verify.Certificate(nil), cs.Certs...)
+	bad.Certs[victim] = verify.Certificate{Faults: []int{3, 1}, Pipeline: orig.Pipeline}
+	err := bad.Replay(sol.Graph)
+	if err == nil || !strings.Contains(err.Error(), "[3 1]") {
+		t.Errorf("unsorted fault list: error %v does not decode the set", err)
 	}
 }
 

@@ -82,12 +82,18 @@ func NewShardRunner(g *graph.Graph, k int, opts Options) *ShardRunner {
 	universe := universeNodes(g, opts.Universe)
 	root, sweep := runTokens(opts)
 	opts.Solver.Res = sweep
+	ref := attachStore(g, opts)
+	group := groupFor(g, opts, ref)
+	var orbit *orbitTester
+	if group != nil {
+		orbit = newOrbitTester(group, universe, g.NumNodes())
+	}
 	return &ShardRunner{
 		g:        g,
 		k:        k,
 		universe: universe,
-		orbit:    orbitFor(g, opts, universe),
-		wk:       newWorker(g, opts, universe),
+		orbit:    orbit,
+		wk:       newWorker(g, opts, universe, ref),
 		root:     root,
 		sweep:    sweep,
 		sub:      make([]int, k),

@@ -37,6 +37,7 @@ import (
 	"gdpn/internal/graph"
 	"gdpn/internal/obs"
 	"gdpn/internal/obs/span"
+	"gdpn/internal/store"
 )
 
 // FaultUniverse selects which nodes may fail.
@@ -88,6 +89,16 @@ type Options struct {
 	// pace a sweep slowly enough to kill workers and restart coordinators
 	// mid-run. Zero (the default) means full speed.
 	Throttle time.Duration
+	// Store attaches the persistent content-addressed verdict store:
+	// Exhaustive and ShardRunner consult it before every solve (positive
+	// hits replay their pipeline certificate, negative hits are re-screened
+	// by cheap necessary conditions — see storecache.go) and append every
+	// fresh verdict after. With ExploitSymmetry, clean full sweeps also
+	// record per-size orbit-representative manifests, letting a warm re-run
+	// of the same instance skip enumeration and orbit testing entirely.
+	// The caller owns the store's lifecycle (Flush/Close). nil disables
+	// caching.
+	Store *store.Store
 }
 
 // FaultSetRecord describes one fault set with an abnormal outcome.
@@ -208,8 +219,8 @@ func CheckPipeline(g *graph.Graph, faults bitset.Set, path graph.Path) error {
 		return fmt.Errorf("pipeline endpoints are %v and %v; want one input and one output terminal", kf, kl)
 	}
 	healthy := 0
-	for _, p := range g.Processors() {
-		if faults == nil || !faults.Contains(p) {
+	for v, n := 0, g.NumNodes(); v < n; v++ {
+		if g.Kind(v) == graph.Processor && (faults == nil || !faults.Contains(v)) {
 			healthy++
 		}
 	}
@@ -266,7 +277,30 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 	defer sweep.Release()
 	opts.Solver.Res = sweep // workers inherit the sweep token
 
-	orbit := orbitFor(g, opts, universe)
+	ref := attachStore(g, opts)
+	group := groupFor(g, opts, ref)
+
+	// Warm path: replay whole size classes from the store's sweep manifests
+	// (symmetry-reduced runs only — the manifest records orbit
+	// representatives decided under a specific group signature).
+	var sweepSig uint64
+	replayed := map[int]bool{}
+	if ref != nil && group != nil {
+		sweepSig = ref.SweepSig(universe, k, ref.GroupSig(group))
+		replayed = manifestSizes(g, ref, sweepSig, k, universe, opts, rep)
+	}
+
+	// The orbit tester is only needed for sizes that will actually be
+	// enumerated; a fully-warm run (every size replayed) skips building it.
+	var orbit *orbitTester
+	if group != nil {
+		for size := 0; size <= k && size <= len(universe); size++ {
+			if !replayed[size] {
+				orbit = newOrbitTester(group, universe, g.NumNodes())
+				break
+			}
+		}
+	}
 
 	// Fine-grained rank chunks, dealt round-robin onto per-worker deques.
 	// The owner pops from the tail (staying on its lexicographic walk, so
@@ -278,6 +312,9 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 	}
 	next := 0
 	for size := 0; size <= k && size <= len(universe); size++ {
+		if replayed[size] {
+			continue
+		}
 		total := combin.Binomial(len(universe), size)
 		per := total/int64(opts.Workers*chunksPerWorker) + 1
 		for from := int64(0); from < total; from += per {
@@ -290,13 +327,19 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 		}
 	}
 
-	results := make(chan *Report, opts.Workers)
+	workers := make([]*worker, opts.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wk := newWorker(g, opts, universe)
+			wk := newWorker(g, opts, universe, ref)
+			workers[w] = wk
+			if ref != nil && orbit != nil {
+				// Collect the representatives each worker actually decides,
+				// so a clean sweep can record per-size manifests.
+				wk.collect = map[int][][]int{}
+			}
 			sub := make([]int, k)
 			scratch := make([]int, k)
 		sweepLoop:
@@ -344,16 +387,31 @@ func Exhaustive(g *graph.Graph, k int, opts Options) *Report {
 			}
 			wk.solver.SetSpan(nil)
 			wk.local.Tiers = wk.solver.Stats()
-			results <- wk.local
 		}(w)
 	}
 	wg.Wait()
-	close(results)
-	for local := range results {
-		merge(rep, local, opts.MaxRecorded)
+	for _, wk := range workers {
+		merge(rep, wk.local, opts.MaxRecorded)
 	}
 	rep.Interrupted = rep.Interrupted || root.Stopped()
 	rep.Duration = time.Since(start)
+
+	// A clean, complete sweep may record manifests: every enumerated size
+	// reached a verdict for all its sets, so the per-worker representative
+	// lists are exactly the orbit representatives of each size.
+	if ref != nil && orbit != nil && !opts.FailFast &&
+		!rep.Interrupted && !sweep.Stopped() && rep.UnknownCount == 0 {
+		for size := 0; size <= k && size <= len(universe); size++ {
+			if replayed[size] {
+				continue
+			}
+			var sets [][]int
+			for _, wk := range workers {
+				sets = append(sets, wk.collect[size]...)
+			}
+			ref.PutManifest(sweepSig, size, sets)
+		}
+	}
 
 	if reg := obs.Default(); reg.Enabled() {
 		if opts.ExploitSymmetry {
@@ -547,7 +605,7 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wk := newWorker(g, opts, universe)
+			wk := newWorker(g, opts, universe, nil)
 			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
 			buf := make([]int, 0, k)
 			// Worker w owns trials [w·per, min((w+1)·per, trials)): the
@@ -585,28 +643,6 @@ func Random(g *graph.Graph, k, trials int, seed int64, opts Options) *Report {
 	return rep
 }
 
-// orbitFor builds the orbit tester for a symmetry-reduced run (nil when
-// ExploitSymmetry is off), computing the automorphism group when
-// Options.Group does not supply one. The computation is deterministic, so
-// independent processes sharding one instance agree on which fault sets
-// are orbit representatives.
-func orbitFor(g *graph.Graph, opts Options, universe []int) *orbitTester {
-	if !opts.ExploitSymmetry {
-		return nil
-	}
-	group := opts.Group
-	if group == nil {
-		var seeds []autom.Perm
-		if opts.Solver.Layout != nil {
-			if refl, err := autom.Reflection(g, opts.Solver.Layout); err == nil {
-				seeds = append(seeds, refl)
-			}
-		}
-		group = autom.Compute(g, autom.Options{Seeds: seeds})
-	}
-	return newOrbitTester(group, universe, g.NumNodes())
-}
-
 // worker is the per-goroutine verification state: a solver, the current
 // fault bitset, and the node ids of the last solved fault set. Consecutive
 // fault sets are applied as deltas — only the departed ids are removed and
@@ -625,9 +661,18 @@ type worker struct {
 
 	prev, cur      []int // node ids of the previous/current fault set, ascending
 	removed, added []int
+
+	// Verdict-store state. ref is nil when no store is attached. cacheBits
+	// is a separate bitset for replaying cached certificates: w.faults must
+	// keep describing the last set the SOLVER saw, or FindDelta warm starts
+	// would diverge after a cache hit. collect, when non-nil, accumulates
+	// the decided orbit representatives per size for manifest recording.
+	ref       *store.GraphRef
+	cacheBits bitset.Set
+	collect   map[int][][]int
 }
 
-func newWorker(g *graph.Graph, opts Options, universe []int) *worker {
+func newWorker(g *graph.Graph, opts Options, universe []int, ref *store.GraphRef) *worker {
 	return &worker{
 		g:        g,
 		solver:   embed.NewSolver(g, opts.Solver),
@@ -637,6 +682,7 @@ func newWorker(g *graph.Graph, opts Options, universe []int) *worker {
 		maxRec:   opts.MaxRecorded,
 		stop:     opts.Solver.Res,
 		failFast: opts.FailFast,
+		ref:      ref,
 	}
 }
 
@@ -648,6 +694,17 @@ func (w *worker) check(sub []int) bool {
 	w.cur = w.cur[:0]
 	for _, idx := range sub {
 		w.cur = append(w.cur, w.universe[idx])
+	}
+	if w.collect != nil {
+		w.collect[len(sub)] = append(w.collect[len(sub)], append([]int(nil), w.cur...))
+	}
+	// Store fast path: a cached verdict that survives its re-check skips the
+	// solver entirely — and leaves w.prev/w.faults untouched, so the next
+	// cold solve still computes a correct warm-start delta.
+	if w.ref != nil {
+		if v, ok := w.ref.LookupVerdict(w.cur); ok && w.applyCached(sub, v) {
+			return true
+		}
 	}
 	w.removed, w.added = diffSorted(w.prev, w.cur, w.removed[:0], w.added[:0])
 	for _, v := range w.removed {
@@ -674,6 +731,9 @@ func (w *worker) check(sub []int) bool {
 	case !res.Found:
 		w.local.FailureCount++
 		record(&w.local.Failures, w.universe, sub, "no pipeline", w.maxRec)
+		if w.ref != nil {
+			w.ref.PutVerdict(w.cur, store.Verdict{Found: false})
+		}
 		if w.failFast && w.stop != nil {
 			// First counterexample ends the sweep: every worker observes the
 			// stopped token at its next fault set (or mid-solve expansion).
@@ -683,6 +743,10 @@ func (w *worker) check(sub []int) bool {
 		if err := CheckPipeline(w.g, w.faults, res.Pipeline); err != nil {
 			record(&w.local.SolverBugs, w.universe, sub, err.Error(), w.maxRec)
 			span.Trip(span.AnomalySolverBug, fmt.Sprintf("verify: faults=%v: %v", w.cur, err))
+		} else if w.ref != nil {
+			// Only certificate-checked pipelines enter the store: a cached
+			// positive is always replayable.
+			w.ref.PutVerdict(w.cur, store.Verdict{Found: true, Path: res.Pipeline})
 		}
 	}
 	return true
