@@ -20,6 +20,15 @@
 // soak early: the stream drains cleanly and the report — marked
 // "interrupted" — is still printed (or emitted as JSON with -json).
 //
+// With -tenants <topology.json> the run is the multi-tenant control-plane
+// soak: the planner/executor layers (internal/plan, internal/control) run
+// every tenant declared in the topology file on one shared pool, the
+// fault schedule hits the pool, and each event triggers one coordinated
+// replan remapping every affected tenant with per-tenant zero-loss
+// drain/requeue. The report (and exit status) covers per-tenant sink
+// audits and the partition invariant — running segments always tile the
+// healthy processors. Example topologies live under examples/topologies/.
+//
 // Usage:
 //
 //	gdpsim -n 24 -k 4 -epoch-frames 128 -frame 4096
@@ -27,6 +36,7 @@
 //	gdpsim -n 24 -k 4 -metrics-addr :9090 -epochs 50
 //	gdpsim -chaos -n 12 -k 3 -seed 1 -duration 30s
 //	gdpsim -chaos -n 12 -k 3 -json
+//	gdpsim -tenants examples/topologies/mixed.json -duration 10s -json
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"gdpn/internal/faults"
 	"gdpn/internal/obs"
 	"gdpn/internal/pipeline"
+	"gdpn/internal/plan"
 	"gdpn/internal/stages"
 	"gdpn/internal/telemetry"
 	"gdpn/internal/workload"
@@ -67,6 +78,7 @@ func main() {
 		chanDep  = flag.Int("chan-depth", 0, "per-stage channel depth in batches (0 = default 4)")
 
 		chaosMode = flag.Bool("chaos", false, "run the continuous chaos soak instead of the epoch demo")
+		tenants   = flag.String("tenants", "", "run the multi-tenant control-plane soak over this topology JSON file (pool size comes from the file; honors -duration, -mtbf, -mttr, -burst-prob, -seed, -quiet, -json)")
 		duration  = flag.Duration("duration", 30*time.Second, "chaos: soak length")
 		mtbf      = flag.Duration("mtbf", 3*time.Second, "chaos: mean time between processor failures")
 		mttr      = flag.Duration("mttr", 800*time.Millisecond, "chaos: mean time to repair")
@@ -103,6 +115,70 @@ func main() {
 				}
 			}()
 		}
+	}
+
+	if *tenants != "" {
+		// The topology file declares its own pool; -n/-k are ignored.
+		reg.SetEnabled(true)
+		topo, err := plan.Load(*tenants)
+		if err != nil {
+			fatal(err)
+		}
+		sol, err := construct.Design(topo.Pool.N, topo.Pool.K)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := chaos.MultiConfig{
+			Topology:  topo,
+			Seed:      *seed,
+			Duration:  *duration,
+			MTBF:      *mtbf,
+			MTTR:      *mttr,
+			BurstProb: *burstProb,
+		}
+		if !*quiet && !*jsonOut {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		if !*jsonOut {
+			fmt.Println(sol.Graph.Summary())
+			fmt.Printf("multi-tenant soak: topology=%s tenants=%d seed=%d duration=%v mtbf=%v mttr=%v burst-prob=%.2f\n",
+				*tenants, len(topo.Tenants), *seed, *duration, *mtbf, *mttr, *burstProb)
+		}
+		rep, err := chaos.MultiRun(sol, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out := struct {
+				OK      bool               `json:"ok"`
+				Graph   string             `json:"graph"`
+				Seed    int64              `json:"seed"`
+				Report  *chaos.MultiReport `json:"report"`
+				Metrics obs.Snapshot       `json:"metrics"`
+			}{rep.OK(), sol.Graph.Name(), *seed, rep, reg.Snapshot()}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(rep.Summary())
+		}
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, summaryLine(reg))
+		}
+		healthy := tf.Report(os.Stderr)
+		if !rep.OK() {
+			fmt.Fprintf(os.Stderr, "gdpsim: multi-tenant soak FAILED (rerun with -tenants %s -seed %d to reproduce)\n", *tenants, *seed)
+			os.Exit(1)
+		}
+		if !healthy {
+			fmt.Fprintln(os.Stderr, "gdpsim: SLO objective breached")
+			os.Exit(1)
+		}
+		return
 	}
 
 	sol, err := construct.Design(*n, *k)

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"gdpn/internal/construct"
+	"gdpn/internal/plan"
+)
+
+// TestMultiSoakShortRun is the in-tree smoke of the multi-tenant soak:
+// three tenants with mixed SLO classes on one G(12,3) pool under fast
+// fault churn must finish with a clean lifetime audit per tenant, valid
+// partitions after every replan, and at least one coordinated replan that
+// moved more than one tenant.
+func TestMultiSoakShortRun(t *testing.T) {
+	sol, err := construct.Design(12, 3)
+	if err != nil {
+		t.Fatalf("Design(12,3): %v", err)
+	}
+	topo, err := plan.Parse([]byte(`{
+	  "pool": {"n": 12, "k": 3},
+	  "tenants": [
+	    {"name": "gold-a", "class": "gold", "weight": 3, "min_procs": 3, "frame_samples": 256},
+	    {"name": "silver-b", "class": "silver", "weight": 2, "min_procs": 2, "frame_samples": 256},
+	    {"name": "bronze-c", "class": "bronze", "weight": 1, "min_procs": 1, "frame_samples": 256, "max_pending": 8}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	dur := 1500 * time.Millisecond
+	if testing.Short() {
+		dur = 400 * time.Millisecond
+	}
+	rep, err := MultiRun(sol, MultiConfig{
+		Topology:  topo,
+		Seed:      1,
+		Duration:  dur,
+		MTBF:      120 * time.Millisecond,
+		MTTR:      40 * time.Millisecond,
+		BurstProb: 0.2,
+	})
+	if err != nil {
+		t.Fatalf("MultiRun: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("multi soak failed:\n%s", rep.Summary())
+	}
+	if rep.FaultsInjected == 0 {
+		t.Fatalf("no faults injected in %v", dur)
+	}
+	if rep.Replans == 0 {
+		t.Fatal("no coordinated replans ran")
+	}
+	if rep.MaxTenantsRemapped < 2 {
+		t.Fatalf("max tenants moved by one replan = %d, want >= 2 (coordination never exercised)",
+			rep.MaxTenantsRemapped)
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Stream.Submitted == 0 {
+			t.Fatalf("tenant %s moved no traffic", tr.Tenant)
+		}
+	}
+	if rep.Checks == 0 {
+		t.Fatal("no partition checks ran")
+	}
+}

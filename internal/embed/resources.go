@@ -112,6 +112,15 @@ func (r *Resources) Child() *Resources {
 	return r.child(0, 0)
 }
 
+// BudgetedChild returns a child carrying its own expansion budget (0 =
+// unlimited) on top of the parent's. The multi-tenant executor uses one
+// per tenant: replan search work is charged to the affected tenant's
+// token, and a tenant that exhausts its allowance is shed without
+// stopping its siblings or the pool-wide root.
+func (r *Resources) BudgetedChild(budget int64) *Resources {
+	return r.child(budget, 0)
+}
+
 func (r *Resources) child(budget int64, deadline time.Duration) *Resources {
 	c := &Resources{budget: budget, parent: r}
 	r.mu.Lock()

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetector reports whether the race detector is active.
+const raceDetector = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDetector reports whether the race detector is active. Under -race,
+// sync.Pool randomly discards Puts to shake out lifecycle races and every
+// allocation carries instrumentation overhead, so performance/allocation
+// gates (S3) report their measurements but do not enforce thresholds.
+const raceDetector = true

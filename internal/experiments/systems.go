@@ -377,6 +377,16 @@ func runS3(cfg Config) *Table {
 	t.AddRow("batched", fmt.Sprint(batch), fmt.Sprint(frames),
 		fmt.Sprintf("%.0f", batchNS), fmt.Sprintf("%.1f", mbps(batchNS)), fmt.Sprintf("%.3f", batchAllocs))
 	speedup := perNS / batchNS
+	if raceDetector {
+		// The race detector defeats both measurements by design: sync.Pool
+		// drops Puts randomly (allocs/frame inflates) and instrumentation
+		// overhead compresses the batched/per-frame gap, especially on a
+		// single core. The stream-cleanliness checks above still ran;
+		// report the numbers but do not enforce the perf gates.
+		t.Note("speedup %.2fx, batched allocs/frame %.3f — perf gates SKIPPED under the race detector", speedup, batchAllocs)
+		t.OK = true
+		return t
+	}
 	t.Note("speedup %.2fx (gate ≥1.5x), batched allocs/frame %.3f (gate <0.5)", speedup, batchAllocs)
 	t.OK = speedup >= 1.5 && batchAllocs < 0.5
 	return t

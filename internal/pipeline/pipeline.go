@@ -57,10 +57,17 @@ type Metrics struct {
 	Repairs reconfig.Stats
 }
 
-// Engine drives one pipeline network.
+// Engine drives one pipeline network. It runs in one of two modes:
+// self-planned (New), where it owns a reconfig.Manager over the whole
+// solution and repairs itself on Inject/Repair; or placed (NewPlaced),
+// where the pipeline is a processor segment handed down by an external
+// planner and remapped only via ApplyPlacement — see placed.go.
 type Engine struct {
 	g      *graph.Graph
-	mgr    *reconfig.Manager
+	mgr    *reconfig.Manager // nil in placed mode
+	placed bool
+	path   graph.Path // placed mode only: the current placement segment
+	tenant string     // optional tenant label carried on remap spans
 	stages []stages.Stage
 	assign [][]int // per pipeline position (processors only): logical stage indices
 
@@ -93,12 +100,13 @@ type Engine struct {
 	procsInUse     *obs.Gauge
 	frameLoss      *obs.Gauge
 	remapDowntime  *obs.Histogram
-	remapLat       [2]*obs.Histogram // indexed by opInject/opRepair
+	remapLat       [3]*obs.Histogram // indexed by opInject/opRepair/opReplan
 }
 
 const (
 	opInject = 0
 	opRepair = 1
+	opReplan = 2
 )
 
 // New builds an engine over a designed solution and the given logical
@@ -114,9 +122,22 @@ func New(sol *construct.Solution, stgs []stages.Stage, opts ...Option) (*Engine,
 	if err != nil {
 		return nil, err
 	}
+	e := newEngine(sol.Graph, stgs)
+	e.mgr = mgr
+	for _, o := range opts {
+		o(e)
+	}
+	e.assignStages()
+	e.procsInUse.Set(int64(e.ProcessorsInUse()))
+	return e, nil
+}
+
+// newEngine builds the mode-independent engine shell: stages, transport
+// tuning defaults, and the instrumentation surface.
+func newEngine(g *graph.Graph, stgs []stages.Stage) *Engine {
 	reg := obs.Default()
 	e := &Engine{
-		g: sol.Graph, mgr: mgr, stages: stgs,
+		g: g, stages: stgs,
 		batchSize:      DefaultBatchSize,
 		chanDepth:      DefaultChannelDepth,
 		reg:            reg,
@@ -131,26 +152,34 @@ func New(sol *construct.Solution, stgs []stages.Stage, opts ...Option) (*Engine,
 		procsInUse:     reg.Gauge("pipeline_procs_in_use"),
 		frameLoss:      reg.Gauge("pipeline_frame_loss"),
 		remapDowntime:  reg.Histogram("pipeline_remap_downtime_ns"),
-		remapLat: [2]*obs.Histogram{
+		remapLat: [3]*obs.Histogram{
 			reg.Histogram("pipeline_remap_ns", obs.L("op", "inject")),
 			reg.Histogram("pipeline_remap_ns", obs.L("op", "repair")),
+			reg.Histogram("pipeline_remap_ns", obs.L("op", "replan")),
 		},
 	}
 	e.pool.hitC = reg.Counter("pipeline_pool_total", obs.L("result", "hit"))
 	e.pool.missC = reg.Counter("pipeline_pool_total", obs.L("result", "miss"))
-	for _, o := range opts {
-		o(e)
-	}
-	e.assignStages()
-	e.procsInUse.Set(int64(e.ProcessorsInUse()))
-	return e, nil
+	return e
 }
 
 // Pipeline returns the current pipeline path (aliased; do not modify).
-func (e *Engine) Pipeline() graph.Path { return e.mgr.Pipeline() }
+// In placed mode this is the placement segment: processors only, no
+// terminals.
+func (e *Engine) Pipeline() graph.Path {
+	if e.placed {
+		return e.path
+	}
+	return e.mgr.Pipeline()
+}
 
 // ProcessorsInUse returns the number of processors in the current pipeline.
-func (e *Engine) ProcessorsInUse() int { return len(e.mgr.Pipeline()) - 2 }
+func (e *Engine) ProcessorsInUse() int {
+	if e.placed {
+		return len(e.path)
+	}
+	return len(e.mgr.Pipeline()) - 2
+}
 
 // Metrics returns a consistent snapshot of the engine's counters. It is
 // safe to call while Process runs on another goroutine.
@@ -181,6 +210,9 @@ func (e *Engine) StagesOn(pos int) []int {
 // in-flight frames are drained and requeued around the remap so none is
 // lost or duplicated.
 func (e *Engine) Inject(node int) error {
+	if e.placed {
+		return ErrPlaced
+	}
 	if s := e.stream.Load(); s != nil {
 		return s.remap(false, node)
 	}
@@ -250,6 +282,17 @@ func startRemapSpan(op, mode string, node int) *span.S {
 		SetStr("op", op).SetStr("mode", mode).SetInt("node", int64(node))
 }
 
+// startPlaceSpan opens the root span of one placement remap, hung under
+// the executor's replan span (parent; nil outside coordinated replans)
+// and labeled with the engine's tenant.
+func (e *Engine) startPlaceSpan(parent *span.S, mode string) *span.S {
+	sp := span.Start(parent, "remap").SetStr("op", "replan").SetStr("mode", mode)
+	if e.tenant != "" {
+		sp.SetStr("tenant", e.tenant)
+	}
+	return sp
+}
+
 // finishRemapSpan ends a root remap span with the status and cancellation
 // reason derived from err, feeds the SLO remap-latency objective, and —
 // after the span is in the ring, so a dump contains the whole tree —
@@ -278,6 +321,9 @@ func finishRemapSpan(root *span.S, start time.Time, err error) {
 // Repair marks a node healthy again and reinstates it in the pipeline.
 // While a Stream is active the repair routes through it, like Inject.
 func (e *Engine) Repair(node int) error {
+	if e.placed {
+		return ErrPlaced
+	}
 	if s := e.stream.Load(); s != nil {
 		return s.remap(true, node)
 	}
@@ -287,7 +333,7 @@ func (e *Engine) Repair(node int) error {
 // assignStages redistributes the logical stages contiguously over the
 // current pipeline's processors.
 func (e *Engine) assignStages() {
-	L := len(e.mgr.Pipeline()) - 2
+	L := e.ProcessorsInUse()
 	S := len(e.stages)
 	e.assign = make([][]int, L)
 	for i := 0; i < L; i++ {
@@ -424,18 +470,40 @@ func (e *Engine) observeEpoch(frames []Frame, elapsed time.Duration) {
 // SetRemapDeadline bounds every reconfiguration's full-remap solve to d
 // of wall-clock time: a remap that misses it is rolled back — the previous
 // pipeline stays live and Inject/Repair report reconfig.ErrDeadline so the
-// caller can retry. 0 disables the bound.
-func (e *Engine) SetRemapDeadline(d time.Duration) { e.mgr.SetDeadline(d) }
+// caller can retry. 0 disables the bound. No-op in placed mode, where the
+// planner owns the solve (and its deadline).
+func (e *Engine) SetRemapDeadline(d time.Duration) {
+	if e.mgr != nil {
+		e.mgr.SetDeadline(d)
+	}
+}
 
 // SetRemapResources attaches an ambient cancellation/budget token to the
 // reconfiguration manager: canceling it aborts an in-flight remap solve
 // (the fault or repair rolls back, and the live pipeline keeps streaming
-// on the previous mapping). nil detaches.
-func (e *Engine) SetRemapResources(r *embed.Resources) { e.mgr.SetResources(r) }
+// on the previous mapping). nil detaches. No-op in placed mode.
+func (e *Engine) SetRemapResources(r *embed.Resources) {
+	if e.mgr != nil {
+		e.mgr.SetResources(r)
+	}
+}
 
 // Downtime returns the reconfiguration manager's per-tactic downtime
-// ledger (a copy).
-func (e *Engine) Downtime() reconfig.DowntimeStats { return e.mgr.Downtime() }
+// ledger (a copy). In placed mode the ledger is empty — downtime lives in
+// the stream report and the executor's replan accounting.
+func (e *Engine) Downtime() reconfig.DowntimeStats {
+	if e.mgr == nil {
+		return reconfig.DowntimeStats{}
+	}
+	return e.mgr.Downtime()
+}
 
-// Faults returns a defensive copy of the currently injected fault set.
-func (e *Engine) Faults() bitset.Set { return e.mgr.Faults() }
+// Faults returns a defensive copy of the currently injected fault set. A
+// placed engine tracks no faults of its own (the pool fault set lives in
+// the executor); it reports an empty set.
+func (e *Engine) Faults() bitset.Set {
+	if e.mgr == nil {
+		return bitset.New(e.g.NumNodes())
+	}
+	return e.mgr.Faults()
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gdpn/internal/graph"
 	"gdpn/internal/obs/span"
 )
 
@@ -43,6 +44,10 @@ var (
 	ErrStreamActive = errors.New("pipeline: engine already has an active stream")
 	// ErrStreamClosed is returned by Submit/Inject/Repair after Close.
 	ErrStreamClosed = errors.New("pipeline: stream is closed")
+	// ErrBackpressure is returned by TrySubmit when the stream's intake is
+	// full: the frame was NOT accepted and the producer decides whether to
+	// retry, drop, or shed.
+	ErrBackpressure = errors.New("pipeline: stream intake full")
 )
 
 // StreamConfig configures a Stream.
@@ -108,6 +113,12 @@ type chain struct {
 type remapReq struct {
 	repair bool
 	node   int
+	// place, when non-nil, makes this a placement remap (placed engines
+	// only): the pump drains, installs the segment, and requeues — repair
+	// and node are ignored. parent is the causal parent for the remap span
+	// (the executor's replan span).
+	place  graph.Path
+	parent *span.S
 	reply  chan error
 }
 
@@ -207,6 +218,28 @@ func (s *Stream) Submit(f Frame) error {
 	}
 }
 
+// TrySubmit queues one frame like Submit but never blocks: when the
+// stream's intake is full (the pump has stopped accepting under
+// backpressure and the submit buffer is exhausted) it returns
+// ErrBackpressure and the frame is NOT accepted — ownership of f.Data
+// stays with the caller. The control plane uses it to shed low-SLO-class
+// tenants' traffic instead of stalling their producers.
+func (s *Stream) TrySubmit(f Frame) error {
+	select {
+	case <-s.donec:
+		return ErrStreamClosed
+	default:
+	}
+	select {
+	case s.submitc <- f:
+		return nil
+	case <-s.donec:
+		return ErrStreamClosed
+	default:
+		return ErrBackpressure
+	}
+}
+
 // Out returns the delivery channel. Frames appear in submission order;
 // the channel closes after Close has flushed everything.
 func (s *Stream) Out() <-chan Frame { return s.outc }
@@ -245,6 +278,19 @@ func (s *Stream) Report() StreamReport {
 // wrapped on a rolled-back remap).
 func (s *Stream) remap(repair bool, node int) error {
 	req := remapReq{repair: repair, node: node, reply: make(chan error, 1)}
+	select {
+	case s.remapc <- req:
+		return <-req.reply
+	case <-s.donec:
+		return ErrStreamClosed
+	}
+}
+
+// remapPlace asks the pump to install a new placement segment between
+// frames (placed engines only); parent, when non-nil, becomes the causal
+// parent of the remap span.
+func (s *Stream) remapPlace(seg graph.Path, parent *span.S) error {
+	req := remapReq{place: seg, parent: parent, reply: make(chan error, 1)}
 	select {
 	case s.remapc <- req:
 		return <-req.reply
@@ -398,11 +444,16 @@ func (s *Stream) run() {
 func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	e := s.e
 	start := time.Now()
-	op := "inject"
-	if req.repair {
-		op = "repair"
+	var root *span.S
+	if req.place != nil {
+		root = e.startPlaceSpan(req.parent, "stream")
+	} else {
+		op := "inject"
+		if req.repair {
+			op = "repair"
+		}
+		root = startRemapSpan(op, "stream", req.node)
 	}
-	root := startRemapSpan(op, "stream", req.node)
 	// 1. Drain: stop processing and flush every in-flight token out of the
 	// old mapping with its progress recorded.
 	drain := span.Start(root, "drain")
@@ -431,9 +482,14 @@ func (s *Stream) handleRemap(c *chain, inflight *int, req remapReq) *chain {
 	drain.SetInt("inflight", int64(drained)).SetInt("unfinished", int64(len(requeue)))
 	drain.End(span.OK)
 	// 2. Remap on the quiesced engine. On error (deadline rollback,
-	// beyond-budget fault) the previous mapping is still in place and the
-	// chain below simply restarts over it.
-	err := e.applyRemap(req.repair, req.node, root)
+	// beyond-budget fault, invalid segment) the previous mapping is still
+	// in place and the chain below simply restarts over it.
+	var err error
+	if req.place != nil {
+		err = e.applyPlace(req.place, root)
+	} else {
+		err = e.applyRemap(req.repair, req.node, root)
+	}
 	if err != nil {
 		s.remapFailures.Add(1)
 	} else {
